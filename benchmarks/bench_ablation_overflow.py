@@ -1,0 +1,91 @@
+"""Ablation — the 1 KB spill threshold (paper §4.1/§5 design choice).
+
+The paper spills any record value over 1 KB to its own S3 object "to
+avoid" the 2 KB metadata ceiling, paying 24,952 extra PUTs. Sweeping the
+threshold shows the trade: spill less (larger threshold) and metadata
+pressure forces second-pass spills anyway; spill more (smaller
+threshold) and the operation count balloons while metadata shrinks.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import TextTable
+from repro.passlib.serializer import to_s3_metadata
+from repro.units import KB, S3_MAX_METADATA_SIZE, fmt_bytes
+from repro.workloads import CombinedWorkload
+
+from conftest import save_result
+
+THRESHOLDS = (256, 512, 1024, 1536, 1900)
+
+
+@pytest.fixture(scope="module")
+def events():
+    return list(CombinedWorkload().iter_events(random.Random("spill"), 0.15))
+
+
+@pytest.fixture(scope="module")
+def sweep(events):
+    rows = []
+    for threshold in THRESHOLDS:
+        overflow_objects = 0
+        overflow_bytes = 0
+        metadata_bytes = 0
+        forced_second_pass = 0
+        for event in events:
+            payload = to_s3_metadata(event, spill_threshold=threshold)
+            assert payload.metadata_size <= S3_MAX_METADATA_SIZE
+            overflow_objects += len(payload.overflow)
+            overflow_bytes += sum(o.size for o in payload.overflow)
+            metadata_bytes += payload.metadata_size
+            forced_second_pass += sum(
+                1 for o in payload.overflow if o.size <= threshold
+            )
+        rows.append(
+            {
+                "threshold": threshold,
+                "overflow_objects": overflow_objects,
+                "overflow_bytes": overflow_bytes,
+                "metadata_bytes": metadata_bytes,
+                "forced": forced_second_pass,
+            }
+        )
+    return rows
+
+
+def test_overflow_threshold_sweep(benchmark, sweep, events):
+    benchmark(to_s3_metadata, events[0])
+    table = TextTable(
+        ["spill threshold", "overflow PUTs", "overflow bytes", "metadata bytes",
+         "2KB-pressure spills"],
+        title=f"Ablation: >threshold spill rule over {len(events)} closes",
+    )
+    for row in sweep:
+        table.add_row(
+            fmt_bytes(row["threshold"]),
+            row["overflow_objects"],
+            fmt_bytes(row["overflow_bytes"]),
+            fmt_bytes(row["metadata_bytes"]),
+            row["forced"],
+        )
+    save_result("ablation_overflow_threshold", table.render())
+    # Spill ops decrease monotonically as the threshold rises...
+    ops = [row["overflow_objects"] for row in sweep]
+    assert ops == sorted(ops, reverse=True)
+    # ...while metadata bytes grow (more rides inline).
+    metadata = [row["metadata_bytes"] for row in sweep]
+    assert metadata == sorted(metadata)
+    # Above ~1.5 KB the 2 KB ceiling forces second-pass spills, which is
+    # why the paper's 1 KB choice is on the efficient frontier.
+    assert sweep[-1]["forced"] >= sweep[2]["forced"]
+
+
+def test_bench_serialization(benchmark, events):
+    subset = events[:200]
+
+    def serialize_all():
+        return sum(len(to_s3_metadata(e).overflow) for e in subset)
+
+    benchmark(serialize_all)

@@ -1,0 +1,106 @@
+"""Ablation — the A3 commit-daemon threshold (paper §4.3 design choice).
+
+The commit daemon fires when ApproximateNumberOfMessages crosses a
+threshold. Sweeping it exposes the trade-off the paper leaves implicit:
+a low threshold commits eagerly (short time-to-durable, more receive
+calls per message); a high threshold batches (cheaper per message, but
+data sits in the WAL longer and the queue grows).
+"""
+
+import pytest
+
+from repro.analysis.report import TextTable
+from repro.passlib.capture import PassSystem
+from repro.sim import Simulation
+
+from conftest import save_result
+
+THRESHOLDS = (1, 5, 20, 80)
+
+
+def make_events(n: int):
+    pas = PassSystem(workload="walsweep")
+    events = []
+    for i in range(n):
+        with pas.process(f"tool{i}", env={"E": "x" * 700}) as proc:
+            proc.write(f"sweep/f{i:03d}.dat", f"payload {i}".encode())
+            events.append(proc.close(f"sweep/f{i:03d}.dat"))
+    return events
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    results = []
+    for threshold in THRESHOLDS:
+        sim = Simulation(
+            architecture="s3+simpledb+sqs",
+            seed=21,
+            commit_threshold=threshold,
+            pump_every=10_000,  # let the daemon's own trigger decide
+        )
+        events = make_events(120)
+        for event in events:
+            sim.store.store(event)
+            sim.account.clock.advance(1.0)  # one close per second
+        daemon = sim.store.commit_daemon
+        triggered_applies = daemon.stats.transactions_applied
+        sqs_requests_before_settle = sim.usage().request_count("sqs")
+        sim.settle()
+        usage = sim.usage()
+        results.append(
+            {
+                "threshold": threshold,
+                "applies_before_settle": triggered_applies,
+                "sqs_requests": usage.request_count("sqs"),
+                "receives": usage.request_count("sqs", "ReceiveMessage"),
+                "runs": daemon.stats.runs,
+                "deferred": daemon.stats.transactions_deferred,
+            }
+        )
+    return results
+
+
+def test_wal_threshold_sweep(benchmark, sweep_results):
+    benchmark(make_events, 5)
+    table = TextTable(
+        ["threshold", "applies pre-settle", "daemon runs", "SQS receives", "SQS requests total"],
+        title="Ablation: commit-daemon trigger threshold (120 closes, 1/s)",
+    )
+    for row in sweep_results:
+        table.add_row(
+            row["threshold"],
+            row["applies_before_settle"],
+            row["runs"],
+            row["receives"],
+            row["sqs_requests"],
+        )
+    save_result("ablation_wal_threshold", table.render())
+    # Lower thresholds commit more work before any explicit drain...
+    assert (
+        sweep_results[0]["applies_before_settle"]
+        >= sweep_results[-1]["applies_before_settle"]
+    )
+    # ...and every configuration eventually drains everything.
+    for row in sweep_results:
+        assert row["applies_before_settle"] <= 120
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_bench_commit_phase(benchmark, threshold):
+    """Benchmark: one commit phase over a 30-transaction backlog."""
+    sim = Simulation(
+        architecture="s3+simpledb+sqs",
+        seed=23,
+        commit_threshold=10_000,  # never self-trigger
+        pump_every=10_000,
+    )
+    for event in make_events(30):
+        sim.store.store(event)
+
+    daemon = sim.store.commit_daemon
+
+    def commit_all():
+        return daemon.drain()
+
+    applied = benchmark.pedantic(commit_all, rounds=1, iterations=1)
+    assert applied == 30

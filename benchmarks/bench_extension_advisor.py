@@ -1,0 +1,100 @@
+"""Extension experiment — the provenance-aware cloud (paper §7).
+
+The paper closes with: "we plan to investigate how a cloud might take
+advantage of this provenance." This benchmark runs that investigation
+over the reproduction's own workloads: replay each workload's read
+sequence through an LRU cache, with and without provenance-guided
+prefetching, and report the dedup/placement opportunities the stored
+provenance exposes.
+"""
+
+import random
+
+import pytest
+
+from repro.advisor import CacheReplay, ProvenanceAdvisor
+from repro.analysis.report import TextTable
+from repro.workloads import (
+    BlastWorkload,
+    CombinedWorkload,
+    LinuxCompileWorkload,
+    ProvenanceChallengeWorkload,
+)
+
+from conftest import save_result
+
+WORKLOADS = {
+    "linux-compile": (LinuxCompileWorkload(), 0.25),
+    "blast": (BlastWorkload(), 0.6),
+    "provchallenge": (ProvenanceChallengeWorkload(), 1.2),
+}
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: list(workload.iter_events(random.Random(f"adv:{name}"), scale))
+        for name, (workload, scale) in WORKLOADS.items()
+    }
+
+
+def test_prefetch_hit_rates(benchmark, traces):
+    replay = CacheReplay(capacity=24)
+    benchmark(replay.replay, traces["provchallenge"], True)
+    table = TextTable(
+        ["workload", "reads", "hit rate (demand)", "hit rate (advised)",
+         "prefetch precision"],
+        title="Extension: provenance-guided prefetch (LRU capacity 24)",
+    )
+    improvements = {}
+    for name, events in traces.items():
+        base, advised = replay.compare(events)
+        improvements[name] = advised.hit_rate - base.hit_rate
+        table.add_row(
+            name,
+            base.accesses,
+            f"{base.hit_rate:.3f}",
+            f"{advised.hit_rate:.3f}",
+            f"{advised.prefetch_precision:.2f}",
+        )
+    save_result("extension_advisor_prefetch", table.render())
+    # Advice must never hurt, and the pipeline-heavy workflow gains.
+    assert all(delta >= 0 for delta in improvements.values())
+    assert improvements["provchallenge"] > 0
+
+
+def test_dedup_and_placement_opportunities(benchmark, traces):
+    events = list(
+        CombinedWorkload().iter_events(random.Random("adv:combined"), 0.2)
+    )
+    advisor = benchmark.pedantic(
+        lambda: ProvenanceAdvisor.from_bundles(
+            b for e in events for b in e.all_bundles()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    dedup = advisor.dedup_report()
+    groups = advisor.placement_groups()
+    lines = [
+        "Extension: what stored provenance tells the provider",
+        f"  duplicate computations: {len(dedup)} groups "
+        f"({sum(len(g) - 1 for g in dedup)} redundant objects)",
+        f"  co-placement groups (>=2 objects): {len(groups)}; "
+        f"largest spans {max((len(g) for g in groups), default=0)} objects",
+        f"  learned stage transitions: "
+        f"{advisor.model.transitions.most_common(5)}",
+    ]
+    save_result("extension_advisor_opportunities", "\n".join(lines))
+    assert groups, "workflows must yield co-access structure"
+
+
+def test_bench_model_ingest(benchmark, traces):
+    events = traces["linux-compile"]
+    bundles = [b for e in events for b in e.all_bundles()]
+
+    def build():
+        return ProvenanceAdvisor.from_bundles(bundles)
+
+    advisor = benchmark(build)
+    assert len(advisor.model) == len(bundles)

@@ -1,0 +1,77 @@
+"""Figures 1–3 — the architecture dataflow diagrams (paper §4).
+
+The paper's three figures are structural, not measured; we regenerate
+them from the live architecture objects (so they cannot drift from the
+code) and benchmark each architecture's store-path latency as the
+figure-level "cost of the extra boxes".
+"""
+
+import pytest
+
+from repro.graph.diagrams import render_ascii, render_dot, validate_diagram
+from repro.passlib.capture import PassSystem
+from repro.sim import Simulation
+
+from conftest import save_result
+
+FIGURES = {
+    "s3": "figure1_s3_standalone",
+    "s3+simpledb": "figure2_s3_simpledb",
+    "s3+simpledb+sqs": "figure3_s3_simpledb_sqs",
+}
+
+
+@pytest.mark.parametrize("arch,figure_name", sorted(FIGURES.items()))
+def test_render_figures(benchmark, arch, figure_name):
+    store = Simulation(architecture=arch).store
+    assert validate_diagram(store) == []
+    text = benchmark(lambda: render_ascii(store) + "\n\n" + render_dot(store))
+    save_result(figure_name, text)
+
+
+def test_figures_show_increasing_machinery(benchmark):
+    benchmark(lambda: Simulation(architecture='s3').store.components())
+    sizes = {}
+    for arch in FIGURES:
+        store = Simulation(architecture=arch).store
+        sizes[arch] = (len(store.components()), len(store.flows()))
+    assert sizes["s3"] < sizes["s3+simpledb"] < sizes["s3+simpledb+sqs"]
+
+
+def one_event(tag: str):
+    pas = PassSystem(workload="figbench")
+    with pas.process("tool", env={"E": "x" * 900}) as proc:
+        proc.write(f"bench/{tag}.dat", b"payload" * 40)
+        return proc.close(f"bench/{tag}.dat")
+
+
+@pytest.mark.parametrize("arch", sorted(FIGURES))
+def test_bench_store_path_latency(benchmark, arch):
+    """Store-path service calls per close, per architecture."""
+    sim = Simulation(architecture=arch, seed=5)
+    counter = iter(range(10_000))
+
+    def store_one():
+        sim.store.store(one_event(f"n{next(counter)}"))
+
+    benchmark(store_one)
+    sim.settle()
+    assert sim.store.stores_completed > 0
+
+
+@pytest.mark.parametrize("arch", sorted(FIGURES))
+def test_store_path_operation_counts(benchmark, arch):
+    """The figure-level truth: how many service requests one close costs."""
+    benchmark(one_event, 'fixture-use')
+    sim = Simulation(architecture=arch, seed=6)
+    sim.store.store(one_event("warmup"))
+    sim.settle()
+    before = sim.usage()
+    sim.store.store(one_event("probe"))
+    sim.settle()
+    spent = sim.usage() - before
+    lines = [f"service requests for one file close ({arch}):"]
+    for (service, op), count in spent.requests:
+        lines.append(f"  {service:9s} {op:28s} {count}")
+    save_result(f"figure_ops_per_close_{arch.replace('+', '_')}", "\n".join(lines))
+    assert spent.request_count() >= 1

@@ -1,0 +1,122 @@
+"""Table 2 — storage cost comparison (paper §5, Table 2).
+
+Two reproductions of the same table:
+
+* **analytic at paper scale** — the §5 extrapolation formulas over the
+  calibrated combined trace (≈31k objects / ≈1.27 GB), mirroring how the
+  paper produced its numbers;
+* **live at reduced scale** — every event actually stored through each
+  architecture against the simulated cloud, with operation counts read
+  from the billing meter (something the paper planned as future work).
+
+The shape assertions encode the paper's qualitative claims: storage
+S3 < S3+SimpleDB < S3+SimpleDB+SQS; operations S3 < Raw < S3+SimpleDB <
+S3+SimpleDB+SQS; full properties at a tens-of-percent space overhead.
+"""
+
+import pytest
+
+from repro.analysis.report import TextTable
+from repro.analysis.storage_model import (
+    paper_formula_a3_ops,
+    render_table2,
+    shape_check,
+    storage_table,
+)
+from repro.sim import Simulation
+from repro.units import fmt_bytes, fmt_count
+from repro.workloads.base import collect_stats
+
+from conftest import save_result
+
+ARCHITECTURES = ("s3", "s3+simpledb", "s3+simpledb+sqs")
+
+
+def test_table2_analytic_paper_scale(benchmark, paper_stats):
+    text = benchmark(render_table2, paper_stats)
+    preamble = (
+        f"dataset: {fmt_count(paper_stats.n_objects)} objects, "
+        f"{fmt_bytes(paper_stats.raw_bytes)} raw data "
+        f"(paper: 31,180 objects, 1.27GB)\n"
+        f"records >1KB: {fmt_count(paper_stats.n_records_gt_1kb)} "
+        f"(paper: 24,952); SimpleDB items: {fmt_count(paper_stats.n_sdb_items)}\n"
+    )
+    save_result("table2_storage_analytic", preamble + text)
+    assert shape_check(paper_stats) == []
+    # Primary calibration targets hit within tolerance.
+    assert abs(paper_stats.n_objects - 31_180) / 31_180 < 0.05
+    assert abs(paper_stats.raw_bytes - 1.27 * 1024**3) / (1.27 * 1024**3) < 0.10
+
+
+def test_table2_live_reduced_scale(benchmark, live_events):
+    """Store the trace through each architecture; meter the truth."""
+    benchmark(collect_stats, live_events[:50])
+    rows = []
+    live_stats = collect_stats(live_events)
+    for arch in ARCHITECTURES:
+        sim = Simulation(architecture=arch, seed=7)
+        sim.store_events(live_events, collect=False)
+        usage = sim.usage()
+        rows.append(
+            (
+                arch,
+                usage.request_count(),
+                usage.transfer_in(),
+                sim.account.meter.stored_bytes("s3")
+                + sim.account.meter.stored_bytes("simpledb"),
+            )
+        )
+    table = TextTable(
+        ["architecture", "requests (metered)", "bytes in", "bytes stored"],
+        title=f"Table 2 (live run at scale {len(live_events)} events)",
+    )
+    baseline_ops = live_stats.n_objects
+    for arch, ops, bytes_in, stored in rows:
+        table.add_row(arch, ops, fmt_bytes(bytes_in), fmt_bytes(stored))
+    footer = (
+        f"\nraw baseline: {baseline_ops} store operations, "
+        f"{fmt_bytes(live_stats.raw_bytes)} data"
+    )
+    save_result("table2_storage_live", table.render() + footer)
+    # Live ordering mirrors the analytic claim.
+    ops_by_arch = {arch: ops for arch, ops, _, _ in rows}
+    assert (
+        ops_by_arch["s3"]
+        < ops_by_arch["s3+simpledb"]
+        < ops_by_arch["s3+simpledb+sqs"]
+    )
+
+
+def test_a3_ops_formula_vs_protocol(benchmark, paper_stats):
+    """Document the gap between the paper's formula and its protocol."""
+    rows = benchmark(storage_table, paper_stats)
+    formula = paper_formula_a3_ops(paper_stats)
+    protocol = rows["s3+simpledb+sqs"].ops
+    text = (
+        "A3 operation count, paper formula vs protocol-true:\n"
+        f"  paper formula (2*(N+prov/8KB)+items+spills): {fmt_count(formula)}\n"
+        f"  protocol-true (incl. begin/data/commit):     {fmt_count(protocol)}\n"
+        f"  paper's printed value:                        231,287"
+    )
+    save_result("table2_a3_ops_gap", text)
+    assert formula < protocol
+
+
+def test_bench_stats_collection(benchmark, live_events):
+    """Benchmark: §5 statistics collection over the live trace."""
+    stats = benchmark(collect_stats, live_events)
+    assert stats.n_objects == len(live_events)
+
+
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+def test_bench_store_throughput(benchmark, arch, live_events):
+    """Benchmark: full-trace store throughput per architecture."""
+    subset = live_events[:150]
+
+    def run():
+        sim = Simulation(architecture=arch, seed=11)
+        sim.store_events(subset, collect=False)
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sim.store.stores_completed == len(subset)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's §5 analysis for your own workload mix.
+
+Generates a reduced-scale combined dataset (Linux compile + Blast +
+Provenance Challenge), prints Table 2 (storage cost), Table 3 (query
+cost), and the USD bill per architecture at January-2009 prices — the
+full evaluation pipeline as a single script.
+
+    python examples/cost_report.py [scale]
+"""
+
+import random
+import sys
+
+from repro.analysis.cost import render_cost_table
+from repro.analysis.query_model import analytic_query_table, render_table3
+from repro.analysis.storage_model import render_table2, shape_check
+from repro.units import fmt_bytes, fmt_count
+from repro.workloads import CombinedWorkload, collect_stats
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    print(f"generating combined dataset at scale {scale} ...")
+    workload = CombinedWorkload()
+    stats = collect_stats(workload.iter_events(random.Random("report"), scale))
+
+    print(
+        f"\ndataset: {fmt_count(stats.n_objects)} objects, "
+        f"{fmt_bytes(stats.raw_bytes)} raw data, "
+        f"{fmt_count(stats.n_records)} provenance records "
+        f"({fmt_count(stats.n_sdb_items)} object versions incl. transients)"
+    )
+    print("per workload:", dict(sorted(stats.per_workload_objects.items())))
+
+    print()
+    print(render_table2(stats, include_paper=True))
+    problems = shape_check(stats)
+    print(f"\nshape check vs the paper's claims: {problems or 'all hold'}")
+
+    print()
+    print(render_table3(analytic_query_table(stats), include_paper=True))
+
+    print()
+    print(render_cost_table(stats))
+    print(
+        "\nreading: provenance with all three §3 properties costs about a "
+        "third more space\nthan the data it describes is charged nothing "
+        "for — and its operations are cents."
+    )
+
+
+if __name__ == "__main__":
+    main()

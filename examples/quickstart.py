@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: store a provenance-aware pipeline in the cloud, query it.
+
+Runs the full stack in under a second: a PASS-observed two-stage
+pipeline is stored through the paper's best architecture
+(S3 + SimpleDB + SQS), read back with the consistency check, and queried
+through the indexed provenance store.
+
+    python examples/quickstart.py
+"""
+
+from repro.passlib.capture import PassSystem
+from repro.sim import Simulation
+
+
+def main() -> None:
+    # A simulated AWS account wired to the S3+SimpleDB+SQS architecture.
+    sim = Simulation(architecture="s3+simpledb+sqs", seed=42)
+
+    # Run an application under PASS observation: reads and writes become
+    # provenance records; each close becomes a flush event.
+    pas = PassSystem(workload="quickstart")
+    pas.stage_input("data/readings.csv", b"sensor,value\nA,1.0\nB,2.4\n")
+    with pas.process("clean", argv="--drop-nulls data/readings.csv") as clean:
+        clean.read("data/readings.csv")
+        clean.write("data/clean.csv", b"sensor,value\nA,1.0\nB,2.4\n")
+        clean.close("data/clean.csv")
+    with pas.process("model", argv="--fit linear data/clean.csv") as model:
+        model.read("data/clean.csv")
+        model.write("results/fit.json", b'{"slope": 1.4}')
+        model.close("results/fit.json")
+
+    # Ship every flush event through the architecture's store protocol
+    # (WAL log phase + commit daemon), then read back with verification.
+    stored = sim.store_events(pas.drain_flushes())
+    print(f"stored {stored} objects with provenance")
+
+    result = sim.read("results/fit.json")
+    print(f"read {result.subject.encode()}: consistent={result.consistent}")
+    for record in result.bundle.records:
+        print(f"  {record}")
+
+    # Ask the indexed backend for lineage: which files did 'clean' feed?
+    engine = sim.query_engine()
+    outputs = engine.q2_outputs_of("model")
+    print(
+        f"outputs of 'model': "
+        f"{[ref.encode() for ref in outputs.refs]} "
+        f"({outputs.operations} SimpleDB operations)"
+    )
+
+    print("\nAWS bill so far:")
+    print(sim.bill())
+
+
+if __name__ == "__main__":
+    main()

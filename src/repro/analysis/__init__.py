@@ -1,0 +1,39 @@
+"""The paper's §5 analysis: storage and query cost models plus USD costs.
+
+* :mod:`repro.analysis.storage_model` — Table 2 (storage space and
+  operation counts per architecture, from trace statistics);
+* :mod:`repro.analysis.query_model` — Table 3 (bytes and operations for
+  Q1/Q2/Q3 on the S3-scan and SimpleDB backends);
+* :mod:`repro.analysis.cost` — conversion to January-2009 USD;
+* :mod:`repro.analysis.report` — fixed-width table rendering shared by
+  benchmarks and examples.
+"""
+
+from repro.analysis.cost import architecture_monthly_cost, storage_cost_usd
+from repro.analysis.query_model import (
+    PAPER_TABLE3,
+    QueryCostRow,
+    analytic_query_table,
+    render_table3,
+)
+from repro.analysis.report import TextTable
+from repro.analysis.storage_model import (
+    PAPER_TABLE2,
+    StorageCostRow,
+    render_table2,
+    storage_table,
+)
+
+__all__ = [
+    "TextTable",
+    "StorageCostRow",
+    "storage_table",
+    "render_table2",
+    "PAPER_TABLE2",
+    "QueryCostRow",
+    "analytic_query_table",
+    "render_table3",
+    "PAPER_TABLE3",
+    "storage_cost_usd",
+    "architecture_monthly_cost",
+]

@@ -1,0 +1,151 @@
+"""USD costs (January 2009) for the Table 2 architectures.
+
+The paper observes that although A3's operation counts "seem excessive",
+*"operations are much cheaper (in USD) than storage in the AWS pricing
+model"*. This module makes that argument concrete: it prices each
+architecture's storage bill from the Table 2 rows using the §2 price
+book, splitting storage-per-month from one-time operation/transfer
+charges, so the claim can be checked numerically (and is, in the
+benchmark suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aws.billing import PriceBook
+from repro.analysis.report import TextTable
+from repro.analysis.storage_model import StorageCostRow, storage_table
+from repro.units import GB
+from repro.workloads.base import TraceStats
+
+
+@dataclass(frozen=True)
+class ArchitectureCost:
+    """Monthly + one-time USD costs for one architecture."""
+
+    architecture: str
+    storage_usd_month: float
+    operations_usd: float
+    transfer_in_usd: float
+
+    @property
+    def first_month_total(self) -> float:
+        return self.storage_usd_month + self.operations_usd + self.transfer_in_usd
+
+
+def storage_cost_usd(
+    row: StorageCostRow, prices: PriceBook | None = None, sdb_fraction: float = 0.5
+) -> ArchitectureCost:
+    """Price one Table 2 row.
+
+    ``sdb_fraction`` apportions provenance bytes between S3-priced and
+    SimpleDB-priced storage for the hybrid architectures (SimpleDB
+    storage cost ten times S3's per GB in 2009, so the split matters;
+    the exact split depends on how many values spill, which Table 2
+    does not record — callers with full stats use
+    :func:`architecture_monthly_cost` instead).
+    """
+    prices = prices or PriceBook()
+    gb = row.prov_bytes / GB
+    if row.architecture in ("raw", "s3"):
+        storage = gb * prices.s3_storage_gb_month
+        op_cost = row.ops / 1000 * prices.s3_put_class_per_1000
+    elif row.architecture == "s3+simpledb":
+        storage = gb * (
+            (1 - sdb_fraction) * prices.s3_storage_gb_month
+            + sdb_fraction * prices.sdb_storage_gb_month
+        )
+        op_cost = row.ops / 1000 * prices.s3_put_class_per_1000
+    else:  # s3+simpledb+sqs
+        storage = gb * (
+            0.5 * prices.s3_storage_gb_month + 0.5 * prices.sdb_storage_gb_month
+        )
+        op_cost = row.ops / 10_000 * prices.sqs_per_10000_requests * 5
+    transfer = gb * prices.s3_transfer_in_gb
+    return ArchitectureCost(
+        architecture=row.architecture,
+        storage_usd_month=storage,
+        operations_usd=op_cost,
+        transfer_in_usd=transfer,
+    )
+
+
+def architecture_monthly_cost(stats: TraceStats, prices: PriceBook | None = None):
+    """Price all Table 2 rows from full trace statistics.
+
+    Operations are priced at their true service mix — A3's bill is
+    dominated by *cheap* SQS requests ($0.01 per 10,000) plus SimpleDB
+    machine time, not S3 PUT-class requests, which is how the paper can
+    call 7.4x the operations "reasonable".
+    """
+    prices = prices or PriceBook()
+    rows = storage_table(stats)
+    costs = {}
+    for name, row in rows.items():
+        # Apportion using the real byte split where we know it.
+        if name == "s3+simpledb":
+            sdb_gb = (stats.sdb_prov_bytes - _spilled_bytes(stats)) / GB
+            s3_gb = _spilled_bytes(stats) / GB
+            storage = (
+                sdb_gb * prices.sdb_storage_gb_month
+                + s3_gb * prices.s3_storage_gb_month
+            )
+            op_cost = (
+                stats.n_records_gt_1kb / 1000 * prices.s3_put_class_per_1000
+                + stats.n_put_attribute_calls * 2.2e-5 * prices.sdb_machine_hour
+            )
+        elif name == "s3+simpledb+sqs":
+            sdb_gb = (stats.sdb_prov_bytes - _spilled_bytes(stats)) / GB
+            s3_gb = _spilled_bytes(stats) / GB
+            sqs_gb = 2 * stats.wal_prov_bytes / GB
+            storage = (
+                sdb_gb * prices.sdb_storage_gb_month
+                + s3_gb * prices.s3_storage_gb_month
+                # SQS bytes are transient (stored then deleted); charge
+                # them as transfer-equivalent rather than a month's rent.
+                + sqs_gb * prices.sqs_transfer_in_gb
+            )
+            s3_class_ops = 2 * stats.n_objects + stats.n_records_gt_1kb
+            sqs_ops = 2 * stats.n_wal_messages
+            op_cost = (
+                s3_class_ops / 1000 * prices.s3_put_class_per_1000
+                + sqs_ops / 10_000 * prices.sqs_per_10000_requests
+                + stats.n_put_attribute_calls * 2.2e-5 * prices.sdb_machine_hour
+            )
+        else:
+            storage = row.prov_bytes / GB * prices.s3_storage_gb_month
+            op_cost = row.ops / 1000 * prices.s3_put_class_per_1000
+        transfer = row.prov_bytes / GB * prices.s3_transfer_in_gb
+        costs[name] = ArchitectureCost(
+            architecture=name,
+            storage_usd_month=storage,
+            operations_usd=op_cost,
+            transfer_in_usd=transfer,
+        )
+    return costs
+
+
+def _spilled_bytes(stats: TraceStats) -> int:
+    """Bytes of >1 KB values living as S3 objects (approximation: the
+    delta between the SimpleDB-format and item-attribute sizes is not
+    tracked separately, so assume spilled records average 2 KB)."""
+    return stats.n_records_gt_1kb * 2048
+
+
+def render_cost_table(stats: TraceStats, prices: PriceBook | None = None) -> str:
+    costs = architecture_monthly_cost(stats, prices)
+    table = TextTable(
+        ["architecture", "storage $/mo", "ops $", "transfer-in $", "first month $"],
+        title="USD cost of provenance (Jan-2009 prices)",
+    )
+    for name in ("raw", "s3", "s3+simpledb", "s3+simpledb+sqs"):
+        cost = costs[name]
+        table.add_row(
+            name,
+            f"{cost.storage_usd_month:.4f}",
+            f"{cost.operations_usd:.4f}",
+            f"{cost.transfer_in_usd:.4f}",
+            f"{cost.first_month_total:.4f}",
+        )
+    return table.render()

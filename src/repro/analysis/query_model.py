@@ -1,0 +1,175 @@
+"""Table 3: query cost comparison (paper §5).
+
+Three queries, two backends. The **analytic** model here mirrors the
+paper's extrapolation; the **measured** numbers come from running the
+actual engines (:mod:`repro.query.engine`) against a live simulated
+cloud and reading the meter — the Table 3 benchmark reports both.
+
+Analytic formulas (S3 backend):
+
+* every query must scan the repository: one HEAD per object plus one
+  GET per spilled record — ``ops = N_objects + N_provrecs>1KB`` and
+  ``bytes = S3-format provenance size``. The paper's S3 column (56,132
+  ops = 31,180 + 24,952; 121.8 MB for all three queries) is exactly
+  this formula.
+
+Analytic formulas (SimpleDB backend):
+
+* **Q1 over all objects**: SimpleDB cannot "generalise the query", so
+  it costs one lookup per file item plus the spilled-value GETs;
+  bytes ≈ the file items' provenance;
+* **Q2**: two indexed phases (instances of the program, then objects
+  listing one as input) — a handful of operations and a few KB;
+* **Q3**: Q2 plus one batched query per BFS frontier chunk — tens of
+  operations, still orders of magnitude below the scan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.report import TextTable
+from repro.units import KB, MB, fmt_bytes, fmt_count
+from repro.workloads.base import TraceStats
+
+#: The paper's Table 3 for comparison.
+PAPER_TABLE3 = {
+    "Q1": {
+        "s3_bytes": int(121.8 * MB),
+        "s3_ops": 56_132,
+        "sdb_bytes": int(51.24 * MB),
+        "sdb_ops": 71_825,
+    },
+    "Q2": {
+        "s3_bytes": int(121.8 * MB),
+        "s3_ops": 56_132,
+        "sdb_bytes": int(2.8 * KB),
+        "sdb_ops": 6,
+    },
+    "Q3": {
+        "s3_bytes": int(121.8 * MB),
+        "s3_ops": 56_132,
+        "sdb_bytes": int(13.8 * KB),
+        "sdb_ops": 31,
+    },
+}
+
+
+@dataclass(frozen=True)
+class QueryCostRow:
+    """One Table 3 row: a query's cost on both backends."""
+
+    query: str
+    s3_bytes: int
+    s3_ops: int
+    sdb_bytes: int
+    sdb_ops: int
+
+
+def analytic_query_table(
+    stats: TraceStats,
+    q2_result_estimate: int | None = None,
+    q3_depth_estimate: int = 4,
+    ref_batch: int = 20,
+    page_size: int = 250,
+) -> list[QueryCostRow]:
+    """The paper's extrapolation applied to our trace statistics.
+
+    ``q2_result_estimate`` defaults to ~0.3% of the repository (the
+    paper's Q2 returns a program's output files — a thin slice of 31k
+    objects). At paper scale the defaults land on Q2 ≈ 6 ops and Q3 ≈ 26
+    ops, bracketing the paper's 6 and 31.
+    """
+    if q2_result_estimate is None:
+        q2_result_estimate = max(4, round(stats.n_objects * 0.003))
+    scan_ops = stats.n_objects + stats.n_records_gt_1kb
+    scan_bytes = stats.s3_prov_bytes
+
+    q1_sdb_ops = stats.n_objects + stats.n_file_records_gt_1kb
+    q1_sdb_bytes = stats.sdb_file_bytes
+
+    # Q2: one page-walk to find instances, one batched disjunction pass.
+    # Both phases project only item names plus a couple of attributes,
+    # so per-result bytes are tens of bytes, not whole items.
+    per_result_bytes = 48
+    instance_pages = max(1, math.ceil(q2_result_estimate / page_size))
+    q2_ops = instance_pages + max(1, math.ceil(q2_result_estimate / ref_batch))
+    q2_bytes = 2 * q2_result_estimate * per_result_bytes
+
+    # Q3: Q2 plus one batched query per BFS level per frontier chunk.
+    q3_ops = q2_ops + q3_depth_estimate * max(
+        1, math.ceil(q2_result_estimate / ref_batch)
+    )
+    q3_bytes = int(q2_bytes * (1 + q3_depth_estimate))
+
+    return [
+        QueryCostRow("Q1", scan_bytes, scan_ops, q1_sdb_bytes, q1_sdb_ops),
+        QueryCostRow("Q2", scan_bytes, scan_ops, q2_bytes, q2_ops),
+        QueryCostRow("Q3", scan_bytes, scan_ops, q3_bytes, q3_ops),
+    ]
+
+
+def render_table3(
+    rows: list[QueryCostRow], title: str = "Table 3: query comparison",
+    include_paper: bool = True,
+) -> str:
+    table = TextTable(
+        ["query", "S3 data", "S3 ops", "SimpleDB data", "SimpleDB ops"],
+        title=title,
+    )
+    for row in rows:
+        table.add_row(
+            row.query,
+            fmt_bytes(row.s3_bytes),
+            fmt_count(row.s3_ops),
+            fmt_bytes(row.sdb_bytes),
+            fmt_count(row.sdb_ops),
+        )
+    rendered = table.render()
+    if include_paper:
+        paper = TextTable(
+            ["query", "S3 data", "S3 ops", "SimpleDB data", "SimpleDB ops"],
+            title="paper's Table 3 (for comparison)",
+        )
+        paper.add_row("Q.1", "121.8MB", "56,132", "51.24MB", "71,825")
+        paper.add_row("Q.2", "121.8MB", "56,132", "2.8KB", "6")
+        paper.add_row("Q.3", "121.8MB", "56,132", "13.8KB", "31")
+        rendered += "\n\n" + paper.render()
+    return rendered
+
+
+def shape_check(rows: list[QueryCostRow], min_factor: float = 100.0) -> list[str]:
+    """The qualitative Table 3 claims; returns violated claims.
+
+    1. the S3 backend's cost is identical for all three queries (it
+       always scans everything);
+    2. SimpleDB beats S3 by ``min_factor`` on Q2 and Q3 (ops and bytes)
+       — at paper scale that factor is orders of magnitude; small test
+       repositories pass a proportionally smaller bar;
+    3. Q3 costs more than Q2 on SimpleDB (no recursion — iterative
+       lookups), yet remains far below the scan;
+    4. Q1-over-all-objects is the one query where SimpleDB's operation
+       count is comparable to (the paper: higher than) the S3 scan's.
+    """
+    by_name = {row.query: row for row in rows}
+    problems = []
+    if not (
+        by_name["Q1"].s3_ops == by_name["Q2"].s3_ops == by_name["Q3"].s3_ops
+    ):
+        problems.append("S3 scan cost should be query-independent")
+    for name in ("Q2", "Q3"):
+        row = by_name[name]
+        if not (row.sdb_ops * min_factor <= row.s3_ops):
+            problems.append(
+                f"{name}: SimpleDB ops not {min_factor:.0f}x better than S3"
+            )
+        if not (row.sdb_bytes * min_factor <= row.s3_bytes):
+            problems.append(
+                f"{name}: SimpleDB bytes not {min_factor:.0f}x better than S3"
+            )
+    if not (by_name["Q2"].sdb_ops < by_name["Q3"].sdb_ops):
+        problems.append("Q3 should cost more SimpleDB ops than Q2")
+    if not (by_name["Q1"].sdb_ops > by_name["Q2"].sdb_ops * min_factor / 2):
+        problems.append("Q1-over-all should dwarf Q2 on SimpleDB")
+    return problems

@@ -1,0 +1,288 @@
+"""Request, transfer, and storage metering plus the Jan-2009 price book.
+
+The paper's whole evaluation (§5) is denominated in what AWS bills:
+*"Amazon charges for its services based on the amount of data transferred
+in and out, the amount of data stored, and the number of operations
+performed."* Every simulated request in this library is recorded by one
+:class:`Meter`, and Tables 2 and 3 are produced by reading meter snapshots
+— the analysis cannot diverge from what the simulated services actually
+did.
+
+Prices follow the figures quoted in §2 of the paper (January 2009):
+
+* S3 — $0.15/GB-month for the first 50 TB of storage; $0.10/GB transfer
+  in; $0.17/GB for the first 10 TB transferred out; $0.01 per 1,000
+  PUT/COPY/POST/LIST requests; $0.01 per 10,000 GET and other requests
+  (DELETE is free).
+* SimpleDB — billed by machine hours ($0.14/hour), transfer, and storage
+  ($1.50/GB-month). The paper normalises SimpleDB to *operation counts*
+  "to compare the architectures using uniform metrics"; we record both
+  operation counts and an estimated box-usage so either metric is
+  available.
+* SQS — $0.01 per 10,000 requests, plus transfer at the S3 rates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.clock import SimClock
+from repro.units import GB, SECONDS_PER_MONTH
+
+# Service identifiers used as meter keys.
+S3 = "s3"
+SDB = "simpledb"
+SQS = "sqs"
+
+#: Request classes that S3 bills at the PUT tier ($0.01 / 1,000).
+S3_PUT_CLASS = frozenset({"PUT", "COPY", "POST", "LIST"})
+#: Request classes that S3 bills at the GET tier ($0.01 / 10,000).
+S3_GET_CLASS = frozenset({"GET", "HEAD"})
+#: Requests S3 does not bill (but we still count them as operations).
+S3_FREE_CLASS = frozenset({"DELETE"})
+
+#: Estimated SimpleDB box-usage hours per request, by operation. These
+#: mirror the magnitudes Amazon reported in 2009 response metadata: simple
+#: writes ≈ 0.0000220 h, reads ≈ 0.0000093 h, queries scale with scanning.
+SDB_BOX_USAGE_HOURS = {
+    "PutAttributes": 2.20e-5,
+    "GetAttributes": 0.93e-5,
+    "DeleteAttributes": 2.20e-5,
+    "Query": 1.40e-5,
+    "QueryWithAttributes": 1.90e-5,
+    "Select": 1.90e-5,
+    "CreateDomain": 5.00e-4,
+    "DeleteDomain": 5.00e-4,
+    "ListDomains": 0.93e-5,
+}
+
+
+@dataclass(frozen=True)
+class Usage:
+    """An immutable snapshot of metered activity.
+
+    Supports subtraction so callers can measure the delta caused by one
+    phase (e.g. "operations performed by query Q2"):
+
+    >>> before = meter.snapshot()          # doctest: +SKIP
+    >>> run_query()                        # doctest: +SKIP
+    >>> spent = meter.snapshot() - before  # doctest: +SKIP
+    """
+
+    requests: tuple[tuple[tuple[str, str], int], ...]
+    bytes_in: tuple[tuple[str, int], ...]
+    bytes_out: tuple[tuple[str, int], ...]
+    byte_seconds: tuple[tuple[str, float], ...]
+    stored_bytes: tuple[tuple[str, int], ...]
+    box_usage_hours: float
+
+    # -- convenience accessors ------------------------------------------
+
+    def request_count(self, service: str | None = None, op: str | None = None) -> int:
+        """Total requests, optionally filtered by service and operation."""
+        total = 0
+        for (svc, operation), count in self.requests:
+            if service is not None and svc != service:
+                continue
+            if op is not None and operation != op:
+                continue
+            total += count
+        return total
+
+    def transfer_in(self, service: str | None = None) -> int:
+        return sum(n for svc, n in self.bytes_in if service in (None, svc))
+
+    def transfer_out(self, service: str | None = None) -> int:
+        return sum(n for svc, n in self.bytes_out if service in (None, svc))
+
+    def stored(self, service: str | None = None) -> int:
+        return sum(n for svc, n in self.stored_bytes if service in (None, svc))
+
+    def gb_months(self, service: str | None = None) -> float:
+        """Integrated storage in GB-months (what AWS storage pricing uses)."""
+        seconds = sum(v for svc, v in self.byte_seconds if service in (None, svc))
+        return seconds / GB / SECONDS_PER_MONTH
+
+    def __sub__(self, other: "Usage") -> "Usage":
+        def diff_counts(a, b):
+            counter = Counter(dict(a))
+            counter.subtract(dict(b))
+            return tuple(sorted((k, v) for k, v in counter.items() if v))
+
+        return Usage(
+            requests=diff_counts(self.requests, other.requests),
+            bytes_in=diff_counts(self.bytes_in, other.bytes_in),
+            bytes_out=diff_counts(self.bytes_out, other.bytes_out),
+            byte_seconds=tuple(
+                sorted(
+                    (k, v)
+                    for k, v in (
+                        Counter(dict(self.byte_seconds))
+                        - Counter(dict(other.byte_seconds))
+                    ).items()
+                    if v
+                )
+            ),
+            stored_bytes=self.stored_bytes,
+            box_usage_hours=self.box_usage_hours - other.box_usage_hours,
+        )
+
+
+class Meter:
+    """Accumulates requests, transfer bytes, and storage byte-seconds.
+
+    Storage is integrated against the simulated clock: each time a
+    service's stored-byte total changes, the previous level is multiplied
+    by the elapsed simulated time, giving exact GB-month figures for any
+    billing window.
+    """
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._requests: Counter[tuple[str, str]] = Counter()
+        self._bytes_in: Counter[str] = Counter()
+        self._bytes_out: Counter[str] = Counter()
+        self._stored: Counter[str] = Counter()
+        self._byte_seconds: dict[str, float] = {}
+        self._last_update: dict[str, float] = {}
+        self._box_usage_hours = 0.0
+
+    # -- recording -------------------------------------------------------
+
+    def record_request(self, service: str, op: str, count: int = 1) -> None:
+        self._requests[(service, op)] += count
+        if service == SDB:
+            self._box_usage_hours += SDB_BOX_USAGE_HOURS.get(op, 1.0e-5) * count
+
+    def record_transfer_in(self, service: str, nbytes: int) -> None:
+        if nbytes:
+            self._bytes_in[service] += nbytes
+
+    def record_transfer_out(self, service: str, nbytes: int) -> None:
+        if nbytes:
+            self._bytes_out[service] += nbytes
+
+    def record_box_usage(self, hours: float) -> None:
+        """Add explicit SimpleDB machine time (e.g. for expensive scans)."""
+        self._box_usage_hours += hours
+
+    def adjust_stored(self, service: str, delta_bytes: int) -> None:
+        """Change a service's stored-byte level, integrating time first."""
+        self._integrate(service)
+        self._stored[service] += delta_bytes
+        if self._stored[service] < 0:
+            raise ValueError(
+                f"stored bytes for {service} went negative "
+                f"({self._stored[service]}); double-counted a delete?"
+            )
+
+    def _integrate(self, service: str) -> None:
+        now = self._clock.now
+        last = self._last_update.get(service, now)
+        level = self._stored[service]
+        self._byte_seconds[service] = (
+            self._byte_seconds.get(service, 0.0) + level * (now - last)
+        )
+        self._last_update[service] = now
+
+    # -- reading ----------------------------------------------------------
+
+    def snapshot(self) -> Usage:
+        for service in list(self._stored):
+            self._integrate(service)
+        return Usage(
+            requests=tuple(sorted(self._requests.items())),
+            bytes_in=tuple(sorted(self._bytes_in.items())),
+            bytes_out=tuple(sorted(self._bytes_out.items())),
+            byte_seconds=tuple(sorted(self._byte_seconds.items())),
+            stored_bytes=tuple(sorted(self._stored.items())),
+            box_usage_hours=self._box_usage_hours,
+        )
+
+    def stored_bytes(self, service: str) -> int:
+        """Current stored-byte level for a service."""
+        return self._stored[service]
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """AWS prices as of January 2009 (USD), as quoted in paper §2.
+
+    Tiered rates above the first tier are retained for completeness but
+    the paper's dataset never leaves tier one (1.27 GB ≪ 50 TB).
+    """
+
+    s3_storage_gb_month: float = 0.15          # first 50 TB
+    s3_transfer_in_gb: float = 0.10
+    s3_transfer_out_gb: float = 0.17           # first 10 TB
+    s3_put_class_per_1000: float = 0.01        # PUT, COPY, POST, LIST
+    s3_get_class_per_10000: float = 0.01       # GET and others
+    sdb_machine_hour: float = 0.14
+    sdb_storage_gb_month: float = 1.50
+    sdb_transfer_in_gb: float = 0.10
+    sdb_transfer_out_gb: float = 0.17
+    sqs_per_10000_requests: float = 0.01
+    sqs_transfer_in_gb: float = 0.10
+    sqs_transfer_out_gb: float = 0.17
+
+    def cost(self, usage: Usage) -> "CostReport":
+        """Convert a usage snapshot to an itemised USD cost report."""
+        lines: list[tuple[str, float]] = []
+
+        s3_put_ops = sum(
+            count
+            for (svc, op), count in usage.requests
+            if svc == S3 and op in S3_PUT_CLASS
+        )
+        s3_get_ops = sum(
+            count
+            for (svc, op), count in usage.requests
+            if svc == S3 and op in S3_GET_CLASS
+        )
+        lines.append(("s3.requests.put_class", s3_put_ops / 1000 * self.s3_put_class_per_1000))
+        lines.append(("s3.requests.get_class", s3_get_ops / 10000 * self.s3_get_class_per_10000))
+        lines.append(("s3.transfer.in", usage.transfer_in(S3) / GB * self.s3_transfer_in_gb))
+        lines.append(("s3.transfer.out", usage.transfer_out(S3) / GB * self.s3_transfer_out_gb))
+        lines.append(("s3.storage", usage.gb_months(S3) * self.s3_storage_gb_month))
+
+        lines.append(("simpledb.machine_hours", usage.box_usage_hours * self.sdb_machine_hour))
+        lines.append(("simpledb.transfer.in", usage.transfer_in(SDB) / GB * self.sdb_transfer_in_gb))
+        lines.append(("simpledb.transfer.out", usage.transfer_out(SDB) / GB * self.sdb_transfer_out_gb))
+        lines.append(("simpledb.storage", usage.gb_months(SDB) * self.sdb_storage_gb_month))
+
+        sqs_ops = usage.request_count(SQS)
+        lines.append(("sqs.requests", sqs_ops / 10000 * self.sqs_per_10000_requests))
+        lines.append(("sqs.transfer.in", usage.transfer_in(SQS) / GB * self.sqs_transfer_in_gb))
+        lines.append(("sqs.transfer.out", usage.transfer_out(SQS) / GB * self.sqs_transfer_out_gb))
+
+        return CostReport(lines=tuple(lines))
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Itemised USD costs derived from a :class:`Usage` snapshot."""
+
+    lines: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    @property
+    def total(self) -> float:
+        return sum(amount for _, amount in self.lines)
+
+    def by_service(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for label, amount in self.lines:
+            service = label.split(".", 1)[0]
+            totals[service] = totals.get(service, 0.0) + amount
+        return totals
+
+    def render(self) -> str:
+        """Human-readable, line-itemed report."""
+        width = max((len(label) for label, _ in self.lines), default=10)
+        rows = [
+            f"  {label:<{width}}  ${amount:10.4f}"
+            for label, amount in self.lines
+            if amount
+        ]
+        rows.append(f"  {'TOTAL':<{width}}  ${self.total:10.4f}")
+        return "\n".join(rows)

@@ -1,0 +1,219 @@
+"""The eventual-consistency engine shared by S3, SimpleDB, and SQS.
+
+AWS circa 2009 promised only *eventual* consistency (paper §2): a GET
+right after a PUT may see the old object; a SimpleDB query right after an
+insert may miss the item; an SQS receive samples a subset of hosts. This
+module models all of that with one mechanism:
+
+* A :class:`ReplicaSet` holds ``n`` replica views of a keyspace. Writes
+  are applied immediately to an *authoritative* log (total order,
+  last-writer-wins, as §2.1 describes for concurrent PUTs) and propagate
+  to each replica after an independent random delay drawn from the
+  configured window.
+* Reads choose a replica uniformly at random and see only writes that
+  have reached it — so stale reads happen exactly when the paper says
+  they can, and letting the simulated clock drain its event queue
+  ("quiescing") guarantees convergence, which is the "eventual" half of
+  the contract.
+
+Setting the delay window to zero collapses the model to strong
+consistency, which unit tests use when consistency races are not the
+behaviour under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.clock import SimClock
+
+V = TypeVar("V")
+
+#: A tombstone marker distinct from any payload (deletes propagate like writes).
+_TOMBSTONE = object()
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Propagation delay distribution for replica updates.
+
+    Each (write, replica) pair draws an independent delay uniformly from
+    ``[min_delay, max_delay]``. ``immediate_fraction`` of writes reach a
+    given replica with zero delay, modelling the common case in which a
+    read-after-write *does* succeed — the paper's races are possible, not
+    certain.
+    """
+
+    min_delay: float = 0.0
+    max_delay: float = 0.0
+    immediate_fraction: float = 0.0
+
+    def sample(self, rng: random.Random) -> float:
+        if self.max_delay <= 0:
+            return 0.0
+        if self.immediate_fraction and rng.random() < self.immediate_fraction:
+            return 0.0
+        return rng.uniform(self.min_delay, self.max_delay)
+
+    @property
+    def is_strong(self) -> bool:
+        return self.max_delay <= 0
+
+
+#: Strongly consistent delay model (propagation is instantaneous).
+STRONG = DelayModel()
+
+
+class ReplicaSet(Generic[V]):
+    """An eventually consistent, replicated key-value space.
+
+    Values are opaque to the replica set; services store object records,
+    item attribute maps, or queue entries. ``V`` must be treated as
+    immutable by callers — updates replace the whole value, mirroring how
+    S3 PUT replaces whole objects and SimpleDB replicates item state.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        rng: random.Random,
+        n_replicas: int = 3,
+        delays: DelayModel = STRONG,
+    ):
+        if n_replicas < 1:
+            raise ValueError(f"need at least one replica, got {n_replicas}")
+        self.name = name
+        self._clock = clock
+        self._rng = rng
+        self._delays = delays
+        # The authoritative view: applied in write order, immediately.
+        self._authority: dict[str, object] = {}
+        self._version = 0
+        # Per-replica views: key -> (version, value).
+        self._replicas: list[dict[str, tuple[int, object]]] = [
+            {} for _ in range(n_replicas)
+        ]
+        self.stale_reads = 0  # reads that returned a non-authoritative value
+
+    # -- writing ----------------------------------------------------------
+
+    def write(self, key: str, value: V) -> int:
+        """Apply a write authoritatively and schedule replica propagation."""
+        return self._apply(key, value)
+
+    def delete(self, key: str) -> int:
+        """Delete a key; the tombstone propagates like any other write."""
+        return self._apply(key, _TOMBSTONE)
+
+    def _apply(self, key: str, value: object) -> int:
+        self._version += 1
+        version = self._version
+        if value is _TOMBSTONE:
+            self._authority.pop(key, None)
+        else:
+            self._authority[key] = value
+        for replica in self._replicas:
+            delay = self._delays.sample(self._rng)
+            if delay <= 0:
+                self._install(replica, key, version, value)
+            else:
+                self._clock.call_after(
+                    delay,
+                    lambda r=replica, k=key, ver=version, v=value: self._install(
+                        r, k, ver, v
+                    ),
+                )
+        return version
+
+    @staticmethod
+    def _install(
+        replica: dict[str, tuple[int, object]], key: str, version: int, value: object
+    ) -> None:
+        # Last-writer-wins by authoritative version: a delayed older write
+        # never clobbers a newer one that already arrived.
+        current = replica.get(key)
+        if current is not None and current[0] >= version:
+            return
+        replica[key] = (version, value)
+
+    # -- reading ----------------------------------------------------------
+
+    def _pick_replica(self) -> dict[str, tuple[int, object]]:
+        return self._rng.choice(self._replicas)
+
+    def read(self, key: str) -> V | None:
+        """Read from a random replica; ``None`` if unknown (or deleted) there."""
+        replica = self._pick_replica()
+        entry = replica.get(key)
+        value = None if entry is None or entry[1] is _TOMBSTONE else entry[1]
+        if value is not self._authority.get(key):
+            self.stale_reads += 1
+        return value  # type: ignore[return-value]
+
+    def read_authoritative(self, key: str) -> V | None:
+        """Bypass replication — test/oracle use only."""
+        return self._authority.get(key)  # type: ignore[return-value]
+
+    def contains_authoritative(self, key: str) -> bool:
+        return key in self._authority
+
+    def keys_snapshot(self) -> list[str]:
+        """Sorted keys visible on one randomly chosen replica.
+
+        This is the view a LIST or a SimpleDB query runs against: recent
+        inserts may be missing and recent deletes may still show.
+        """
+        replica = self._pick_replica()
+        return sorted(k for k, (_, v) in replica.items() if v is not _TOMBSTONE)
+
+    def items_snapshot(self) -> Iterator[tuple[str, V]]:
+        """(key, value) pairs visible on one randomly chosen replica."""
+        replica = self._pick_replica()
+        for key in sorted(replica):
+            version_value = replica[key]
+            if version_value[1] is not _TOMBSTONE:
+                yield key, version_value[1]  # type: ignore[misc]
+
+    def authoritative_keys(self) -> list[str]:
+        return sorted(self._authority)
+
+    def authoritative_items(self) -> Iterator[tuple[str, V]]:
+        for key in sorted(self._authority):
+            yield key, self._authority[key]  # type: ignore[misc]
+
+    # -- convergence ------------------------------------------------------
+
+    def is_converged(self) -> bool:
+        """True when every replica equals the authoritative view."""
+        for replica in self._replicas:
+            visible = {k: v for k, (_, v) in replica.items() if v is not _TOMBSTONE}
+            if visible != self._authority:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        """Number of keys in the authoritative view."""
+        return len(self._authority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReplicaSet({self.name!r}, keys={len(self._authority)}, "
+            f"replicas={len(self._replicas)}, converged={self.is_converged()})"
+        )
+
+
+def make_rng_family(seed: int) -> Callable[[str], random.Random]:
+    """Create independent, reproducible RNG streams keyed by label.
+
+    Each simulated service draws replica choices and delays from its own
+    stream so adding requests to one service never perturbs another —
+    essential for comparing architecture runs under a fixed seed.
+    """
+
+    def derive(label: str) -> random.Random:
+        return random.Random(f"{seed}:{label}")
+
+    return derive

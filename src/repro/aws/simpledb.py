@@ -1,0 +1,389 @@
+"""Simulated Amazon SimpleDB (January 2009 semantics).
+
+Implements the indexing/query service of paper §2.2:
+
+* data model of **domains → items → attribute-value pairs**, where an
+  item may hold multiple values per attribute name;
+* limits: 1 KB per attribute name and value, 256 attribute-value pairs
+  per item, 100 attributes per ``PutAttributes`` call — the limits that
+  force architecture A2 to spill large provenance values to S3 and to
+  batch its writes;
+* automatic indexing and three query primitives — ``Query``,
+  ``QueryWithAttributes`` and ``Select`` — with result pagination;
+* **idempotency**: re-running ``PutAttributes`` with the same attributes
+  or ``DeleteAttributes`` on absent attributes is not an error (§2.2),
+  which the A3 commit daemon's replay correctness rests on;
+* **eventual consistency**: an item inserted may not appear in a query
+  run immediately afterwards, because queries execute against a replica
+  snapshot.
+
+Machine time (the real SimpleDB billing unit) is estimated per request
+and recorded on the meter; the paper normalises to operation counts, and
+the meter records those too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import errors, units
+from repro.aws import billing
+from repro.aws.consistency import DelayModel, ReplicaSet, STRONG
+from repro.aws.faults import RequestFaults
+from repro.aws.sdb_query import (
+    CompiledQuery,
+    SelectStatement,
+    parse_query,
+    parse_select,
+    run_query,
+)
+from repro.clock import SimClock
+
+#: Items an attribute map: name -> tuple of distinct values (sorted).
+ItemState = dict[str, tuple[str, ...]]
+
+#: Maximum items returned per Query/QueryWithAttributes page (2009 limit).
+QUERY_MAX_PAGE = 250
+#: Maximum items returned per Select page.
+SELECT_MAX_PAGE = 250
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One attribute in a PutAttributes/DeleteAttributes call."""
+
+    name: str
+    value: str
+    replace: bool = False
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A page of item names (Query)."""
+
+    item_names: tuple[str, ...]
+    next_token: str | None
+
+
+@dataclass(frozen=True)
+class QueryWithAttributesResult:
+    """A page of items with their attributes (QueryWithAttributes/Select)."""
+
+    items: tuple[tuple[str, dict[str, tuple[str, ...]]], ...]
+    next_token: str | None
+
+    @property
+    def item_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.items)
+
+
+@dataclass(frozen=True)
+class SelectResult:
+    """Result of a Select statement (items or a count)."""
+
+    items: tuple[tuple[str, dict[str, tuple[str, ...]]], ...]
+    next_token: str | None
+    count: int | None = None
+
+
+def _attr_size(state: ItemState) -> int:
+    return sum(
+        len(name.encode()) + len(value.encode())
+        for name, values in state.items()
+        for value in values
+    )
+
+
+def _attr_count(state: ItemState) -> int:
+    return sum(len(values) for values in state.values())
+
+
+class SimpleDBService:
+    """The simulated SimpleDB endpoint for one AWS account."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        rng: random.Random,
+        meter: billing.Meter,
+        faults: RequestFaults | None = None,
+        delays: DelayModel = STRONG,
+        n_replicas: int = 3,
+    ):
+        self._clock = clock
+        self._rng = rng
+        self._meter = meter
+        self._faults = faults or RequestFaults()
+        self._delays = delays
+        self._n_replicas = n_replicas
+        self._domains: dict[str, ReplicaSet[ItemState]] = {}
+        # Authoritative attribute state used for read-modify-write; the
+        # ReplicaSet holds copies for eventually consistent reads.
+        self._authority: dict[str, dict[str, ItemState]] = {}
+
+    # -- domain management --------------------------------------------------
+
+    def create_domain(self, name: str) -> None:
+        """Create a domain. Idempotent, as in real SimpleDB."""
+        self._request("CreateDomain")
+        if name not in self._domains:
+            self._domains[name] = ReplicaSet(
+                f"sdb/{name}", self._clock, self._rng, self._n_replicas, self._delays
+            )
+            self._authority[name] = {}
+
+    def delete_domain(self, name: str) -> None:
+        self._request("DeleteDomain")
+        self._domains.pop(name, None)
+        removed = self._authority.pop(name, None)
+        if removed:
+            freed = sum(_attr_size(state) for state in removed.values())
+            self._meter.adjust_stored(billing.SDB, -freed)
+
+    def list_domains(self) -> list[str]:
+        self._request("ListDomains")
+        return sorted(self._domains)
+
+    def _domain(self, name: str) -> ReplicaSet[ItemState]:
+        domain = self._domains.get(name)
+        if domain is None:
+            raise errors.NoSuchDomain(name)
+        return domain
+
+    # -- writes ---------------------------------------------------------------
+
+    def put_attributes(
+        self,
+        domain: str,
+        item_name: str,
+        attributes: list[Attribute | tuple[str, str]],
+    ) -> None:
+        """Insert or modify an item's attributes (≤100 per call).
+
+        Values accumulate as a set unless ``replace`` is set for a name,
+        so repeating a call cannot create duplicates — the idempotency
+        §2.2 documents and §4.3 exploits.
+        """
+        self._request("PutAttributes")
+        attrs = [a if isinstance(a, Attribute) else Attribute(*a) for a in attributes]
+        if not attrs:
+            raise errors.AttributeValueTooLong("PutAttributes requires attributes")
+        if len(attrs) > units.SDB_MAX_ATTRS_PER_CALL:
+            raise errors.NumberSubmittedAttributesExceeded(
+                f"{len(attrs)} attributes in one call (limit "
+                f"{units.SDB_MAX_ATTRS_PER_CALL})"
+            )
+        for attr in attrs:
+            if len(attr.name.encode()) > units.SDB_MAX_NAME_SIZE:
+                raise errors.AttributeValueTooLong(f"attribute name {attr.name[:40]!r}")
+            if len(attr.value.encode()) > units.SDB_MAX_VALUE_SIZE:
+                raise errors.AttributeValueTooLong(
+                    f"value for {attr.name!r} is {len(attr.value.encode())} bytes "
+                    f"(limit {units.SDB_MAX_VALUE_SIZE})"
+                )
+        store = self._domain(domain)
+        authority = self._authority[domain]
+        state: ItemState = dict(authority.get(item_name, {}))
+        old_size = _attr_size(state)
+        replaced: set[str] = set()
+        for attr in attrs:
+            existing = () if attr.replace and attr.name not in replaced else state.get(attr.name, ())
+            if attr.replace:
+                replaced.add(attr.name)
+            merged = set(existing)
+            merged.add(attr.value)
+            state[attr.name] = tuple(sorted(merged))
+        if _attr_count(state) > units.SDB_MAX_ATTRS_PER_ITEM:
+            raise errors.NumberItemAttributesExceeded(
+                f"item {item_name!r} would hold {_attr_count(state)} attributes "
+                f"(limit {units.SDB_MAX_ATTRS_PER_ITEM})"
+            )
+        self._meter.record_transfer_in(
+            billing.SDB,
+            sum(len(a.name.encode()) + len(a.value.encode()) for a in attrs),
+        )
+        self._meter.adjust_stored(billing.SDB, _attr_size(state) - old_size)
+        authority[item_name] = state
+        store.write(item_name, dict(state))
+
+    def delete_attributes(
+        self,
+        domain: str,
+        item_name: str,
+        attributes: list[Attribute | tuple[str, str] | str] | None = None,
+    ) -> None:
+        """Delete attributes, or the whole item when ``attributes`` is None.
+
+        Idempotent: deleting absent attributes or items succeeds silently.
+        """
+        self._request("DeleteAttributes")
+        store = self._domain(domain)
+        authority = self._authority[domain]
+        state = authority.get(item_name)
+        if state is None:
+            return
+        old_size = _attr_size(state)
+        if attributes is None:
+            del authority[item_name]
+            self._meter.adjust_stored(billing.SDB, -old_size)
+            store.delete(item_name)
+            return
+        new_state: ItemState = dict(state)
+        for attr in attributes:
+            if isinstance(attr, str):
+                new_state.pop(attr, None)
+                continue
+            if isinstance(attr, tuple):
+                attr = Attribute(*attr)
+            values = new_state.get(attr.name)
+            if values is None:
+                continue
+            remaining = tuple(v for v in values if v != attr.value)
+            if remaining:
+                new_state[attr.name] = remaining
+            else:
+                new_state.pop(attr.name, None)
+        if new_state:
+            authority[item_name] = new_state
+            store.write(item_name, dict(new_state))
+        else:
+            del authority[item_name]
+            store.delete(item_name)
+        self._meter.adjust_stored(billing.SDB, _attr_size(new_state) - old_size)
+
+    # -- reads -----------------------------------------------------------------
+
+    def get_attributes(
+        self,
+        domain: str,
+        item_name: str,
+        attribute_names: list[str] | None = None,
+    ) -> dict[str, tuple[str, ...]]:
+        """Fetch an item's attributes from a replica (may be stale/empty)."""
+        self._request("GetAttributes")
+        store = self._domain(domain)
+        state = store.read(item_name) or {}
+        if attribute_names is not None:
+            wanted = set(attribute_names)
+            state = {k: v for k, v in state.items() if k in wanted}
+        self._meter.record_transfer_out(billing.SDB, _attr_size(state))
+        return dict(state)
+
+    def query(
+        self,
+        domain: str,
+        expression: str | None = None,
+        max_items: int = QUERY_MAX_PAGE,
+        next_token: str | None = None,
+    ) -> QueryResult:
+        """Return names of items matching a bracket-language expression."""
+        self._request("Query")
+        matched = self._execute(domain, parse_query(expression), next_token)
+        page, token = self._paginate(matched, min(max_items, QUERY_MAX_PAGE))
+        names = tuple(name for name, _ in page)
+        self._meter.record_transfer_out(billing.SDB, sum(len(n) for n in names))
+        return QueryResult(item_names=names, next_token=token)
+
+    def query_with_attributes(
+        self,
+        domain: str,
+        expression: str | None = None,
+        attribute_names: list[str] | None = None,
+        max_items: int = QUERY_MAX_PAGE,
+        next_token: str | None = None,
+    ) -> QueryWithAttributesResult:
+        """Return matching items together with (a subset of) attributes."""
+        self._request("QueryWithAttributes")
+        matched = self._execute(domain, parse_query(expression), next_token)
+        page, token = self._paginate(matched, min(max_items, QUERY_MAX_PAGE))
+        wanted = None if attribute_names is None else set(attribute_names)
+        projected: list[tuple[str, dict[str, tuple[str, ...]]]] = []
+        out_bytes = 0
+        for name, attrs in page:
+            if wanted is not None:
+                attrs = {k: v for k, v in attrs.items() if k in wanted}
+            projected.append((name, dict(attrs)))
+            out_bytes += len(name) + _attr_size(dict(attrs))
+        self._meter.record_transfer_out(billing.SDB, out_bytes)
+        return QueryWithAttributesResult(items=tuple(projected), next_token=token)
+
+    def select(
+        self,
+        statement: str | SelectStatement,
+        next_token: str | None = None,
+    ) -> SelectResult:
+        """Run a SELECT statement (2009 subset; see sdb_query)."""
+        self._request("Select")
+        parsed = parse_select(statement) if isinstance(statement, str) else statement
+        matched = self._execute(parsed.domain, parsed.query, next_token)
+        if parsed.is_count:
+            return SelectResult(items=(), next_token=None, count=len(matched))
+        limit = parsed.limit if parsed.limit is not None else SELECT_MAX_PAGE
+        page, token = self._paginate(matched, min(limit, SELECT_MAX_PAGE))
+        projected: list[tuple[str, dict[str, tuple[str, ...]]]] = []
+        out_bytes = 0
+        for name, attrs in page:
+            if parsed.projection == ("itemName()",):
+                attrs = {}
+            elif parsed.projection != ("*",):
+                wanted = set(parsed.projection)
+                attrs = {k: v for k, v in attrs.items() if k in wanted}
+            projected.append((name, dict(attrs)))
+            out_bytes += len(name) + _attr_size(dict(attrs))
+        self._meter.record_transfer_out(billing.SDB, out_bytes)
+        return SelectResult(items=tuple(projected), next_token=token)
+
+    # -- oracle helpers (tests/recovery scans) ----------------------------------
+
+    def authoritative_item(self, domain: str, item_name: str) -> ItemState | None:
+        state = self._authority.get(domain, {}).get(item_name)
+        return dict(state) if state is not None else None
+
+    def authoritative_item_names(self, domain: str) -> list[str]:
+        return sorted(self._authority.get(domain, {}))
+
+    def item_count(self, domain: str) -> int:
+        """Authoritative number of items (used by the analysis module)."""
+        return len(self._authority.get(domain, {}))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _execute(
+        self,
+        domain: str,
+        query: CompiledQuery,
+        next_token: str | None,
+    ) -> list[tuple[str, ItemState]]:
+        store = self._domain(domain)
+        snapshot = list(store.items_snapshot())
+        # Box usage grows with the number of items scanned, mirroring how
+        # SimpleDB charged more machine time for broader queries.
+        self._meter.record_box_usage(len(snapshot) * 2.0e-8)
+        matched = run_query(snapshot, query)
+        if next_token is not None:
+            matched = self._resume(matched, next_token)
+        return matched
+
+    @staticmethod
+    def _resume(
+        matched: list[tuple[str, ItemState]], next_token: str
+    ) -> list[tuple[str, ItemState]]:
+        if not next_token.startswith("after:"):
+            raise errors.InvalidNextToken(next_token)
+        last_name = next_token[len("after:"):]
+        return [(n, a) for n, a in matched if n > last_name]
+
+    @staticmethod
+    def _paginate(
+        matched: list[tuple[str, ItemState]], max_items: int
+    ) -> tuple[list[tuple[str, ItemState]], str | None]:
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        page = matched[:max_items]
+        token = f"after:{page[-1][0]}" if len(matched) > max_items and page else None
+        return page, token
+
+    def _request(self, op: str) -> None:
+        self._faults.before_request(billing.SDB, op)
+        self._meter.record_request(billing.SDB, op)

@@ -1,0 +1,347 @@
+"""Simulated Amazon SQS (January 2009 semantics).
+
+Implements the distributed-queue behaviours the A3 write-ahead-log
+protocol depends on (paper §2.3):
+
+* queues identified by URL; ``SendMessage`` with an **8 KB** body limit
+  (which is why large data goes to a temporary S3 object with only a
+  pointer on the queue);
+* messages are spread across internal **hosts**; ``ReceiveMessage``
+  *samples* a subset of hosts and returns at most 10 visible messages
+  from them — so a single receive can miss messages that exist, and the
+  commit daemon must keep receiving until a transaction is complete;
+* a **visibility timeout**: delivered messages are hidden from other
+  consumers until the timeout lapses or the consumer deletes them — SQS's
+  at-least-once contract and de-facto distributed lock (paper footnote 2);
+* ``DeleteMessage`` takes the receipt handle from the delivering receive;
+* ``GetQueueAttributes:ApproximateNumberOfMessages`` estimates the queue
+  length from a host sample (approximate under eventual consistency);
+* messages older than **4 days** are deleted automatically — the WAL
+  garbage-collection window §4.3 relies on;
+* best-effort ordering: no FIFO guarantee whatsoever.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro import errors, units
+from repro.aws import billing
+from repro.aws.faults import RequestFaults
+from repro.clock import SimClock
+
+DEFAULT_VISIBILITY_TIMEOUT = 30.0
+DEFAULT_HOST_COUNT = 8
+#: Fraction of hosts a ReceiveMessage samples.
+DEFAULT_SAMPLE_FRACTION = 0.75
+
+
+@dataclass
+class _StoredMessage:
+    """Internal queue entry (mutable: visibility changes on receive)."""
+
+    message_id: str
+    body: str
+    enqueued_at: float
+    host: int
+    visible_at: float = 0.0
+    receive_count: int = 0
+    receipt_serial: int = 0  # invalidates older receipt handles
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """A message as handed to a consumer."""
+
+    message_id: str
+    body: str
+    receipt_handle: str
+    receive_count: int
+    enqueued_at: float
+
+
+@dataclass
+class _Queue:
+    url: str
+    name: str
+    visibility_timeout: float
+    hosts: list[dict[str, _StoredMessage]] = field(default_factory=list)
+
+
+class SQSService:
+    """The simulated SQS endpoint for one AWS account."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        rng: random.Random,
+        meter: billing.Meter,
+        faults: RequestFaults | None = None,
+        host_count: int = DEFAULT_HOST_COUNT,
+        sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
+        retention_seconds: float = units.SQS_RETENTION_SECONDS,
+    ):
+        if host_count < 1:
+            raise ValueError(f"host_count must be >= 1, got {host_count}")
+        if not (0.0 < sample_fraction <= 1.0):
+            raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+        self._clock = clock
+        self._rng = rng
+        self._meter = meter
+        self._faults = faults or RequestFaults()
+        self._host_count = host_count
+        self._sample_fraction = sample_fraction
+        self._retention = retention_seconds
+        self._queues: dict[str, _Queue] = {}
+        self._message_ids = itertools.count(1)
+        self._receipt_serials = itertools.count(1)
+        self.messages_expired = 0
+
+    # -- queue management ---------------------------------------------------
+
+    def create_queue(
+        self, name: str, visibility_timeout: float = DEFAULT_VISIBILITY_TIMEOUT
+    ) -> str:
+        """Create a queue and return its URL. Idempotent for same timeout."""
+        self._request("CreateQueue")
+        url = f"sqs://queues/{name}"
+        existing = self._queues.get(url)
+        if existing is not None:
+            if existing.visibility_timeout != visibility_timeout:
+                raise errors.QueueNameExists(
+                    f"queue {name!r} exists with a different visibility timeout"
+                )
+            return url
+        self._queues[url] = _Queue(
+            url=url,
+            name=name,
+            visibility_timeout=visibility_timeout,
+            hosts=[{} for _ in range(self._host_count)],
+        )
+        return url
+
+    def delete_queue(self, url: str) -> None:
+        self._request("DeleteQueue")
+        queue = self._queues.pop(url, None)
+        if queue is not None:
+            freed = sum(
+                len(m.body.encode()) for host in queue.hosts for m in host.values()
+            )
+            self._meter.adjust_stored(billing.SQS, -freed)
+
+    def list_queues(self) -> list[str]:
+        self._request("ListQueues")
+        return sorted(self._queues)
+
+    def _queue(self, url: str) -> _Queue:
+        queue = self._queues.get(url)
+        if queue is None:
+            raise errors.NoSuchQueue(url)
+        self._expire_old_messages(queue)
+        return queue
+
+    # -- messaging -------------------------------------------------------------
+
+    def send_message(self, url: str, body: str) -> str:
+        """Enqueue a message (≤ 8 KB, Unicode text) on a random host."""
+        self._request("SendMessage")
+        if not isinstance(body, str):
+            raise errors.InvalidMessageContents(
+                f"SQS bodies are Unicode text, got {type(body).__name__}"
+            )
+        encoded = body.encode("utf-8")
+        if len(encoded) > units.SQS_MAX_MESSAGE_SIZE:
+            raise errors.MessageTooLong(
+                f"{len(encoded)} bytes exceeds the "
+                f"{units.SQS_MAX_MESSAGE_SIZE} byte message limit"
+            )
+        queue = self._queue(url)
+        message = _StoredMessage(
+            message_id=f"msg-{next(self._message_ids):08d}",
+            body=body,
+            enqueued_at=self._clock.now,
+            host=self._rng.randrange(len(queue.hosts)),
+            visible_at=self._clock.now,
+        )
+        queue.hosts[message.host][message.message_id] = message
+        self._meter.record_transfer_in(billing.SQS, len(encoded))
+        self._meter.adjust_stored(billing.SQS, len(encoded))
+        return message.message_id
+
+    def receive_message(
+        self,
+        url: str,
+        max_messages: int = 1,
+        visibility_timeout: float | None = None,
+    ) -> list[ReceivedMessage]:
+        """Receive up to 10 visible messages from a *sample* of hosts.
+
+        Messages returned become invisible to other consumers until the
+        visibility timeout expires; consumers must DeleteMessage before
+        then or the message reappears (at-least-once delivery).
+        """
+        self._request("ReceiveMessage")
+        if not (1 <= max_messages <= units.SQS_MAX_RECEIVE_BATCH):
+            raise ValueError(
+                f"max_messages must be in [1, {units.SQS_MAX_RECEIVE_BATCH}], "
+                f"got {max_messages}"
+            )
+        queue = self._queue(url)
+        timeout = (
+            queue.visibility_timeout if visibility_timeout is None else visibility_timeout
+        )
+        now = self._clock.now
+        delivered: list[ReceivedMessage] = []
+        for host_index in self._sample_hosts(len(queue.hosts)):
+            # Random within-host order too: a deterministic scan plus the
+            # 10-message cap would permanently starve late entries.
+            candidates = list(queue.hosts[host_index].values())
+            self._rng.shuffle(candidates)
+            for message in candidates:
+                if len(delivered) >= max_messages:
+                    break
+                if message.visible_at > now:
+                    continue
+                message.visible_at = now + timeout
+                message.receive_count += 1
+                message.receipt_serial = next(self._receipt_serials)
+                handle = f"{message.message_id}#{message.receipt_serial}"
+                delivered.append(
+                    ReceivedMessage(
+                        message_id=message.message_id,
+                        body=message.body,
+                        receipt_handle=handle,
+                        receive_count=message.receive_count,
+                        enqueued_at=message.enqueued_at,
+                    )
+                )
+            if len(delivered) >= max_messages:
+                break
+        self._meter.record_transfer_out(
+            billing.SQS, sum(len(m.body.encode()) for m in delivered)
+        )
+        return delivered
+
+    def delete_message(self, url: str, receipt_handle: str) -> None:
+        """Delete a message by receipt handle.
+
+        Deleting an already-deleted message succeeds (idempotent); a
+        handle superseded by a later receive is rejected, modelling the
+        lock-like semantics of the visibility timeout.
+        """
+        self._request("DeleteMessage")
+        queue = self._queue(url)
+        try:
+            message_id, serial_text = receipt_handle.rsplit("#", 1)
+            serial = int(serial_text)
+        except ValueError:
+            raise errors.ReceiptHandleInvalid(receipt_handle) from None
+        for host in queue.hosts:
+            message = host.get(message_id)
+            if message is None:
+                continue
+            if message.receipt_serial != serial:
+                raise errors.ReceiptHandleInvalid(
+                    f"{receipt_handle}: superseded by a newer receive"
+                )
+            del host[message_id]
+            self._meter.adjust_stored(billing.SQS, -len(message.body.encode()))
+            return
+        # Unknown message id: already deleted; SQS treats this as success.
+
+    def change_message_visibility(
+        self, url: str, receipt_handle: str, visibility_timeout: float
+    ) -> None:
+        """Adjust an in-flight message's visibility (real SQS API).
+
+        A consumer that received a message but cannot process it yet can
+        release it early (timeout 0) instead of holding the lock until
+        the original timeout — the commit daemon uses this to hand back
+        transactions it must defer.
+        """
+        self._request("ChangeMessageVisibility")
+        queue = self._queue(url)
+        try:
+            message_id, serial_text = receipt_handle.rsplit("#", 1)
+            serial = int(serial_text)
+        except ValueError:
+            raise errors.ReceiptHandleInvalid(receipt_handle) from None
+        for host in queue.hosts:
+            message = host.get(message_id)
+            if message is None:
+                continue
+            if message.receipt_serial != serial:
+                raise errors.ReceiptHandleInvalid(
+                    f"{receipt_handle}: superseded by a newer receive"
+                )
+            message.visible_at = self._clock.now + max(0.0, visibility_timeout)
+            return
+        # Already deleted: treated as success, like DeleteMessage.
+
+    def approximate_number_of_messages(self, url: str) -> int:
+        """GetQueueAttributes:ApproximateNumberOfMessages.
+
+        Counts visible messages on a host sample and scales up — an
+        *approximation*, exactly as §2.3 warns. The commit daemon uses
+        this only as a trigger threshold, never for correctness.
+        """
+        self._request("GetQueueAttributes")
+        queue = self._queue(url)
+        now = self._clock.now
+        sampled = self._sample_hosts(len(queue.hosts))
+        visible = sum(
+            1
+            for host_index in sampled
+            for message in queue.hosts[host_index].values()
+            if message.visible_at <= now
+        )
+        if not sampled:
+            return 0
+        return round(visible * len(queue.hosts) / len(sampled))
+
+    # -- oracle helpers (tests only) ----------------------------------------------
+
+    def exact_message_count(self, url: str) -> int:
+        """True total (visible + in-flight) message count; test oracle."""
+        queue = self._queue(url)
+        return sum(len(host) for host in queue.hosts)
+
+    def exact_visible_count(self, url: str) -> int:
+        queue = self._queue(url)
+        now = self._clock.now
+        return sum(
+            1
+            for host in queue.hosts
+            for message in host.values()
+            if message.visible_at <= now
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _sample_hosts(self, n_hosts: int) -> list[int]:
+        # Random order as well as random membership: a fixed scan order
+        # plus the 10-message batch limit would starve messages parked
+        # on late hosts.
+        k = max(1, round(n_hosts * self._sample_fraction))
+        return self._rng.sample(range(n_hosts), k)
+
+    def _expire_old_messages(self, queue: _Queue) -> None:
+        if self._retention <= 0:
+            return
+        cutoff = self._clock.now - self._retention
+        for host in queue.hosts:
+            expired = [
+                message_id
+                for message_id, message in host.items()
+                if message.enqueued_at < cutoff
+            ]
+            for message_id in expired:
+                message = host.pop(message_id)
+                self._meter.adjust_stored(billing.SQS, -len(message.body.encode()))
+                self.messages_expired += 1
+
+    def _request(self, op: str) -> None:
+        self._faults.before_request(billing.SQS, op)
+        self._meter.record_request(billing.SQS, op)

@@ -1,0 +1,57 @@
+"""The paper's contribution: three provenance-aware cloud architectures.
+
+* :class:`~repro.core.s3_standalone.S3Standalone` — §4.1, provenance in
+  S3 object metadata (atomic single PUT; inefficient query);
+* :class:`~repro.core.s3_simpledb.S3SimpleDB` — §4.2, data in S3,
+  provenance in SimpleDB with the MD5‖nonce consistency check (efficient
+  query; atomicity violated on ill-timed crashes);
+* :class:`~repro.core.s3_simpledb_sqs.S3SimpleDBSQS` — §4.3, same plus a
+  per-client SQS write-ahead log, commit daemon, and cleaner daemon
+  (all properties hold).
+
+:mod:`repro.core.properties` turns Table 1 into executable checks.
+"""
+
+from repro.core.base import ProvenanceCloudStore, ReadResult, RetryPolicy
+from repro.core.daemons import CleanerDaemon, CommitDaemon
+from repro.core.properties import PropertyReport, evaluate_architecture
+from repro.core.s3_simpledb import S3SimpleDB
+from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
+from repro.core.s3_standalone import S3Standalone
+
+ARCHITECTURES = ("s3", "s3+simpledb", "s3+simpledb+sqs")
+
+
+def make_architecture(name, account, **kwargs):
+    """Factory: build an architecture by its paper name.
+
+    ``name`` is one of ``'s3'``, ``'s3+simpledb'``, ``'s3+simpledb+sqs'``.
+    """
+    factories = {
+        "s3": S3Standalone,
+        "s3+simpledb": S3SimpleDB,
+        "s3+simpledb+sqs": S3SimpleDBSQS,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; expected one of {ARCHITECTURES}"
+        ) from None
+    return factory(account, **kwargs)
+
+
+__all__ = [
+    "ProvenanceCloudStore",
+    "ReadResult",
+    "RetryPolicy",
+    "S3Standalone",
+    "S3SimpleDB",
+    "S3SimpleDBSQS",
+    "CommitDaemon",
+    "CleanerDaemon",
+    "PropertyReport",
+    "evaluate_architecture",
+    "ARCHITECTURES",
+    "make_architecture",
+]

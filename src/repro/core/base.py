@@ -1,0 +1,232 @@
+"""Shared machinery for the three provenance-aware cloud architectures.
+
+Each architecture is a :class:`ProvenanceCloudStore`: it accepts PASS
+flush events (``store``), serves consistent reads of data + provenance
+(``read``), and exposes enough structure for the property checkers and
+the Figure 1–3 diagram renderer.
+
+Common conventions (§4):
+
+* file data lives in the S3 bucket :data:`DATA_BUCKET` under the file's
+  path, overwritten in place as versions advance (each PASS file maps to
+  an S3 object);
+* spilled >1 KB record values live under ``.pass/overflow/`` in the same
+  bucket, keyed by object version (so they are never overwritten by a
+  later version);
+* provenance-in-SimpleDB architectures use the domain
+  :data:`PROV_DOMAIN` with one item per object version;
+* reads go through a :class:`RetryPolicy` — under eventual consistency a
+  correct client must be prepared to re-issue requests until data and
+  provenance agree (§4.2's "reissue the query ... until we get
+  consistent provenance and data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.aws.account import AWSAccount
+from repro.aws.faults import NO_FAULTS, FaultPlan
+from repro.blob import Blob
+from repro.errors import (
+    BucketAlreadyExists,
+    NoSuchKey,
+    ReadCorrectnessViolation,
+    ServiceUnavailable,
+)
+from repro.passlib.records import FlushEvent, ObjectRef, ProvenanceBundle
+
+DATA_BUCKET = "pass-data"
+PROV_DOMAIN = "pass-prov"
+TEMP_PREFIX = ".pass/tmp/"
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """A read that satisfied the architecture's correctness protocol.
+
+    ``data`` is ``None`` when only provenance survives for the requested
+    version (S3 keeps one object per file, so superseded versions keep
+    their provenance but not their bytes). ``retries`` counts how many
+    extra round trips eventual consistency cost this read.
+    """
+
+    subject: ObjectRef
+    data: Blob | None
+    bundle: ProvenanceBundle
+    consistent: bool
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client rides out eventual consistency on the read path.
+
+    ``attempts`` bounds the re-issue loop; ``wait`` (if given) runs
+    between attempts — in simulation it typically advances the simulated
+    clock, giving replicas a chance to converge, exactly like a real
+    client sleeping between retries.
+    """
+
+    attempts: int = 8
+    wait: Callable[[], None] | None = None
+
+    def run(self, action: Callable[[], "ReadResult"]) -> "ReadResult":
+        """Run ``action`` until it stops raising retryable errors."""
+        failures: list[str] = []
+        for attempt in range(self.attempts):
+            try:
+                result = action()
+            except (NoSuchKey, ServiceUnavailable, _InconsistentRead) as exc:
+                failures.append(f"attempt {attempt + 1}: {exc}")
+                if self.wait is not None:
+                    self.wait()
+                continue
+            if attempt:
+                return ReadResult(
+                    subject=result.subject,
+                    data=result.data,
+                    bundle=result.bundle,
+                    consistent=result.consistent,
+                    retries=attempt,
+                )
+            return result
+        raise ReadCorrectnessViolation(
+            "read did not converge after "
+            f"{self.attempts} attempts: {'; '.join(failures[-3:])}"
+        )
+
+
+class _InconsistentRead(Exception):
+    """Internal: data/provenance mismatch detected; retry may fix it."""
+
+
+def call_with_retries(fn, *args, attempts: int = 4, **kwargs):
+    """Issue a service request, riding out transient 503s.
+
+    AWS SDK behaviour: ``ServiceUnavailable`` is raised *before* the
+    service mutates state, so immediately re-issuing the request is
+    always safe. Bounded attempts — a persistently failing service
+    surfaces the error to the caller (whose crash the WAL architecture
+    then absorbs).
+    """
+    for attempt in range(attempts):
+        try:
+            return fn(*args, **kwargs)
+        except ServiceUnavailable:
+            if attempt == attempts - 1:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Component:
+    """A box in the architecture diagram (Figures 1–3)."""
+
+    name: str
+    role: str
+
+
+@dataclass(frozen=True)
+class Flow:
+    """An arrow in the architecture diagram."""
+
+    source: str
+    target: str
+    label: str
+
+
+class ProvenanceCloudStore:
+    """Abstract base for the three architectures."""
+
+    #: Paper name, e.g. ``"s3+simpledb"``.
+    name: str = "abstract"
+
+    def __init__(self, account: AWSAccount, faults: FaultPlan = NO_FAULTS,
+                 retry: RetryPolicy | None = None):
+        self.account = account
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.stores_completed = 0
+        self._provisioned = False
+
+    # -- provisioning ----------------------------------------------------
+
+    def provision(self) -> None:
+        """Create buckets/domains/queues; idempotent."""
+        if self._provisioned:
+            return
+        self._do_provision()
+        self._provisioned = True
+
+    def _do_provision(self) -> None:
+        raise NotImplementedError
+
+    def _ensure_bucket(self, name: str) -> None:
+        """CreateBucket, tolerating a bucket we already own.
+
+        Several clients share the account's data bucket (the usage model
+        has many clients writing different objects), so provisioning must
+        be idempotent across clients.
+        """
+        try:
+            self.account.s3.create_bucket(name)
+        except BucketAlreadyExists:
+            pass
+
+    # -- the store protocol ------------------------------------------------
+
+    def store(self, event: FlushEvent) -> None:
+        """Persist one flush event per this architecture's §4 protocol."""
+        self.provision()
+        self._do_store(event)
+        self.stores_completed += 1
+
+    def _do_store(self, event: FlushEvent) -> None:
+        raise NotImplementedError
+
+    def store_trace(self, events: Iterable[FlushEvent]) -> int:
+        """Store a whole trace in causal order; returns events stored."""
+        count = 0
+        for event in events:
+            self.store(event)
+            count += 1
+        return count
+
+    # -- the read protocol ------------------------------------------------------
+
+    def read(self, name: str, version: int | None = None) -> ReadResult:
+        """Read data + provenance with this architecture's guarantees."""
+        self.provision()
+        return self.retry.run(lambda: self._do_read(name, version))
+
+    def _do_read(self, name: str, version: int | None) -> ReadResult:
+        raise NotImplementedError
+
+    def provenance(self, ref: ObjectRef) -> ProvenanceBundle:
+        """Fetch the provenance bundle of one object version."""
+        return self.read(ref.name, ref.version).bundle
+
+    # -- introspection -----------------------------------------------------------
+
+    def components(self) -> list[Component]:
+        """Diagram boxes (see Figures 1–3)."""
+        raise NotImplementedError
+
+    def flows(self) -> list[Flow]:
+        """Diagram arrows (see Figures 1–3)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(stores={self.stores_completed})"
+
+
+def data_key(name: str) -> str:
+    """S3 key holding a file's current data (PASS file ↔ S3 object)."""
+    return name
+
+
+def temp_key(txn_id: str, name: str) -> str:
+    """S3 key for a WAL transaction's temporary copy of a file."""
+    return f"{TEMP_PREFIX}{txn_id}/{name}"

@@ -1,0 +1,355 @@
+"""The commit daemon and cleaner daemon of architecture A3 (paper §4.3).
+
+**Commit daemon** — periodically checks the WAL queue's approximate
+length; once past a threshold it drains the queue, reassembles
+transactions, and applies every *complete* one:
+
+1. COPY the temporary data object to its real name, stamping the nonce
+   (COPY, not rename, so a replay after a crash can re-run — §4.3);
+2. PUT any spilled >1 KB values to their overflow objects;
+3. PutAttributes the provenance items (≤100 attributes per call);
+4. DeleteMessage all of the transaction's WAL records;
+5. DELETE the temporary object.
+
+Every step is idempotent, because the daemon may crash after applying
+but before deleting the messages, in which case the records are received
+and applied *again* after the visibility timeout — S3 and SimpleDB
+semantics make the replay harmless (§4.3's idempotency argument, which
+the property-based tests hammer).
+
+Transactions with a commit record but missing pieces keep being polled
+for (SQS sampling can hide messages); transactions with no commit record
+are ignored — the client died mid-log — and SQS's 4-day retention reaps
+their records.
+
+**Cleaner daemon** — temporary objects staged by clients that crashed
+before committing are invisible to the commit daemon; the cleaner lists
+``.pass/tmp/`` and deletes anything older than the 4-day window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aws.account import AWSAccount
+from repro.aws.faults import NO_FAULTS, FaultPlan
+from repro.aws.simpledb import Attribute
+from repro.core.base import (
+    DATA_BUCKET,
+    PROV_DOMAIN,
+    TEMP_PREFIX,
+    call_with_retries,
+    data_key,
+)
+from repro.core.wal import AssembledTransaction, TransactionAssembler
+from repro.errors import NoSuchKey, ReceiptHandleInvalid
+from repro.units import SDB_MAX_ATTRS_PER_CALL, SECONDS_PER_DAY
+
+
+@dataclass
+class CommitDaemonStats:
+    """Counters exposed for tests, benchmarks, and examples."""
+
+    runs: int = 0
+    transactions_applied: int = 0
+    messages_received: int = 0
+    duplicate_applies: int = 0
+    incomplete_rounds: int = 0
+    transactions_deferred: int = 0
+
+
+class _DeferTransaction(Exception):
+    """The transaction cannot apply yet (replica lag); retry next run.
+
+    Raised when the temporary object a ``data`` record points at is not
+    visible on any sampled replica — under eventual consistency the PUT
+    may simply not have propagated. The transaction's messages stay on
+    the queue (locked until the visibility timeout) and a later commit
+    run retries; §4.3's 'eventually stored' argument in action.
+    """
+
+
+class CommitDaemon:
+    """Drains the WAL queue and applies committed transactions."""
+
+    def __init__(
+        self,
+        account: AWSAccount,
+        queue_url: str,
+        threshold: int = 10,
+        receive_batch: int = 10,
+        max_rounds: int = 50,
+        empty_rounds_to_stop: int = 4,
+        visibility_timeout: float = 120.0,
+        faults: FaultPlan = NO_FAULTS,
+    ):
+        self.account = account
+        self.queue_url = queue_url
+        self.threshold = threshold
+        self.receive_batch = receive_batch
+        self.max_rounds = max_rounds
+        self.empty_rounds_to_stop = empty_rounds_to_stop
+        self.visibility_timeout = visibility_timeout
+        self.faults = faults
+        self.stats = CommitDaemonStats()
+        #: Transactions applied (kept to count duplicate replays).
+        self._applied_txns: set[str] = set()
+
+    # -- the monitor loop entry points --------------------------------------
+
+    def run_once(self, force: bool = False) -> int:
+        """One monitor tick: commit if the queue looks full enough.
+
+        Returns the number of transactions applied. ``force`` skips the
+        threshold check (used at shutdown and in tests).
+        """
+        approx = self.account.sqs.approximate_number_of_messages(self.queue_url)
+        if not force and approx < self.threshold:
+            return 0
+        return self.commit_phase()
+
+    def drain(self) -> int:
+        """Commit until the queue is (apparently) empty. Returns applies."""
+        total = 0
+        for _ in range(self.max_rounds):
+            applied = self.commit_phase()
+            total += applied
+            if applied == 0:
+                break
+        return total
+
+    # -- the commit phase (§4.3 step 2) ------------------------------------------
+
+    def commit_phase(self) -> int:
+        """Receive, assemble, apply complete transactions."""
+        self.stats.runs += 1
+        assembler = TransactionAssembler()
+        empty_rounds = 0
+        rounds = 0
+        # 2(a): receive as many messages as possible; keep going while
+        # committed transactions are missing pieces (sampling can hide
+        # messages from any single receive).
+        while rounds < self.max_rounds:
+            rounds += 1
+            batch = self.account.sqs.receive_message(
+                self.queue_url,
+                max_messages=self.receive_batch,
+                visibility_timeout=self.visibility_timeout,
+            )
+            self.stats.messages_received += len(batch)
+            for message in batch:
+                assembler.add(message)
+            if batch:
+                empty_rounds = 0
+                continue
+            empty_rounds += 1
+            if assembler.pending_commits():
+                self.stats.incomplete_rounds += 1
+                if empty_rounds >= self.empty_rounds_to_stop * 2:
+                    break  # pieces are locked elsewhere; retry next run
+                continue
+            if empty_rounds >= self.empty_rounds_to_stop:
+                break
+
+        # Apply strictly in transaction order. A WAL must replay in
+        # order: the paper's "the order in which we process the records
+        # does not matter" holds across *different* objects, but two
+        # committed versions of the same object must land oldest-first
+        # or a deferred old transaction could later overwrite new data.
+        # Because each client logs transactions sequentially, an
+        # earlier-id transaction that is present but not yet applicable
+        # blocks everything after it — unless it was logged by a *dead*
+        # incarnation (older epoch, no commit record): that transaction
+        # can never complete and retention will reap it.
+        applied = 0
+        blocking_id: str | None = None
+        present = assembler.all_transactions()
+        for index, txn in enumerate(present):
+            if txn.is_complete:
+                continue
+            if not txn.committed and index < len(present) - 1:
+                # The client logs transactions one at a time, so an
+                # uncommitted transaction with a successor on the queue
+                # was abandoned mid-log: it can never complete. Skip it
+                # (retention reaps its records).
+                continue
+            blocking_id = txn.txn_id
+            break
+        for txn in assembler.complete():
+            if blocking_id is not None and txn.txn_id > blocking_id:
+                self.stats.transactions_deferred += 1
+                continue
+            try:
+                self._apply(txn)
+            except _DeferTransaction:
+                self.stats.transactions_deferred += 1
+                break  # strict order: nothing after may jump the queue
+            applied += 1
+            assembler.forget(txn.txn_id)
+        # Hand every message we could not act on straight back to the
+        # queue (visibility 0): uncommitted transactions may still be
+        # mid-log, deferred ones retry next run — either way, holding
+        # their locks would hide them from the next commit phase and
+        # reopen the reordering window.
+        self._release_unapplied(assembler)
+        return applied
+
+    def _release_unapplied(self, assembler: TransactionAssembler) -> None:
+        for txn in assembler.all_transactions():
+            for handle in txn.handles:
+                try:
+                    self.account.sqs.change_message_visibility(
+                        self.queue_url, handle, 0.0
+                    )
+                except ReceiptHandleInvalid:
+                    pass  # superseded by a later receive; nothing to release
+
+    # -- applying one transaction (§4.3 steps 2(b)-(d)) -------------------------------
+
+    def _apply(self, txn: AssembledTransaction) -> None:
+        faults = self.faults
+        faults.check("daemon.apply.begin")
+        if txn.txn_id in self._applied_txns:
+            self.stats.duplicate_applies += 1
+        assert txn.data is not None  # is_complete guarantees it
+
+        # 2(b): COPY temp object to its real name, stamping the nonce.
+        self._copy_with_retry(
+            txn,
+            txn.data["temp"],
+            data_key(txn.data["subject"].rsplit(":v", 1)[0]),
+            metadata={"nonce": txn.data["nonce"]},
+        )
+        faults.check("daemon.apply.after_copy")
+
+        # Spilled >1 KB values become their own S3 objects.
+        for record in txn.overflow:
+            if record["t"] == "ovfl":
+                call_with_retries(
+                    self.account.s3.put, DATA_BUCKET, record["key"], record["value"]
+                )
+            else:  # ovfl_ptr: staged like data, promoted by COPY
+                self._copy_with_retry(txn, record["temp"], record["key"])
+        faults.check("daemon.apply.after_overflow")
+
+        # 2(c): store the provenance items, ≤100 attributes per call.
+        for item_name, attributes in txn.items():
+            attrs = [Attribute(name, value) for name, value in attributes]
+            for start in range(0, len(attrs), SDB_MAX_ATTRS_PER_CALL):
+                call_with_retries(
+                    self.account.simpledb.put_attributes,
+                    PROV_DOMAIN,
+                    item_name,
+                    attrs[start : start + SDB_MAX_ATTRS_PER_CALL],
+                )
+        faults.check("daemon.apply.after_put_attributes")
+
+        # 2(d): delete the WAL messages...
+        for handle in txn.handles:
+            try:
+                self.account.sqs.delete_message(self.queue_url, handle)
+            except ReceiptHandleInvalid:
+                pass  # superseded handle from an earlier crashed run
+        faults.check("daemon.apply.after_delete_messages")
+        # ...and the temporary object(s).
+        self.account.s3.delete(DATA_BUCKET, txn.data["temp"])
+        for record in txn.overflow:
+            if record["t"] == "ovfl_ptr":
+                self.account.s3.delete(DATA_BUCKET, record["temp"])
+        faults.check("daemon.apply.done")
+        self._applied_txns.add(txn.txn_id)
+        self.stats.transactions_applied += 1
+
+    def _copy_with_retry(
+        self,
+        txn: AssembledTransaction,
+        source: str,
+        destination: str,
+        metadata: dict[str, str] | None = None,
+        attempts: int = 6,
+    ) -> None:
+        """COPY, riding out replica lag on the temp object.
+
+        Each attempt samples a fresh replica; if none has the object the
+        transaction is deferred to a later run. A replay whose temp was
+        already deleted (this daemon applied the transaction, then
+        crashed before clearing messages) is recognised via
+        ``_applied_txns`` and treated as success — the data already sits
+        at its real name because deletes happen last.
+        """
+        for _ in range(attempts):
+            try:
+                self.account.s3.copy(DATA_BUCKET, source, destination, metadata=metadata)
+                return
+            except NoSuchKey:
+                continue
+        if txn.txn_id in self._applied_txns:
+            return
+        if self.account.s3.exists_authoritative(DATA_BUCKET, source):
+            raise _DeferTransaction(source)  # replica lag: retry next run
+        # The temp object truly does not exist. If the destination already
+        # holds this transaction's data (a replay by a *restarted* daemon
+        # whose _applied_txns memory was lost), the transaction is done.
+        destination_record = self.account.s3.authoritative_record(
+            DATA_BUCKET, destination
+        )
+        if (
+            metadata is not None
+            and destination_record is not None
+            and destination_record.metadata_dict.get("nonce") == metadata.get("nonce")
+        ):
+            return
+        if metadata is None and destination_record is not None:
+            return
+        raise _DeferTransaction(source)
+
+
+@dataclass
+class CleanerStats:
+    runs: int = 0
+    objects_examined: int = 0
+    objects_removed: int = 0
+
+
+class CleanerDaemon:
+    """Reaps temporary objects abandoned by uncommitted transactions.
+
+    §4.3: "the temporary objects that have been stored on S3 must be
+    explicitly removed if they belong to uncommitted transactions. We
+    use a cleaner daemon to remove temporary objects that have not been
+    accessed for 4 days."
+    """
+
+    def __init__(
+        self,
+        account: AWSAccount,
+        max_age_seconds: float = 4 * SECONDS_PER_DAY,
+    ):
+        self.account = account
+        self.max_age = max_age_seconds
+        self.stats = CleanerStats()
+
+    def run_once(self) -> list[str]:
+        """Scan ``.pass/tmp/`` and delete objects past the age threshold."""
+        self.stats.runs += 1
+        removed = []
+        marker: str | None = None
+        now = self.account.clock.now
+        while True:
+            page = self.account.s3.list_keys(
+                DATA_BUCKET, prefix=TEMP_PREFIX, marker=marker
+            )
+            for key in page.keys:
+                self.stats.objects_examined += 1
+                try:
+                    head = self.account.s3.head(DATA_BUCKET, key)
+                except NoSuchKey:
+                    continue  # deleted since the LIST snapshot
+                if now - head.last_modified >= self.max_age:
+                    self.account.s3.delete(DATA_BUCKET, key)
+                    removed.append(key)
+            if not page.is_truncated:
+                break
+            marker = page.next_marker
+        self.stats.objects_removed += len(removed)
+        return removed

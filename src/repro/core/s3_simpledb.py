@@ -1,0 +1,264 @@
+"""Architecture A2 — S3 + SimpleDB (paper §4.2, Figure 2).
+
+Data goes to S3; provenance goes to SimpleDB, one item per object
+version (item name ``name_vNNNN``), which buys **efficient, indexed
+query** — the property A1 lacks. Values above SimpleDB's 1 KB limit
+spill to S3 objects referenced from the item.
+
+Consistency is protected by the **MD5 ‖ nonce** record: alongside the
+provenance the client stores ``md5 = H(md5(data) ‖ nonce)`` and stamps
+the same nonce on the S3 object's metadata. A reader recomputes the
+token from the data it got and compares; on mismatch (S3 returned an
+older object than SimpleDB's provenance, or vice versa — possible under
+eventual consistency) it re-issues the requests until the pair agrees.
+The nonce matters because overwriting a file *with identical bytes*
+still creates new provenance: without the nonce the MD5 alone could not
+distinguish the versions (§4.2).
+
+What A2 cannot give is **atomicity**: provenance is stored (step 3)
+before data (step 4), so a crash in between leaves *orphan provenance*
+describing an object S3 never received. Recovery is an inelegant scan
+of the whole domain (:meth:`S3SimpleDB.recover_orphans`) — the
+motivation for A3's write-ahead log.
+
+Protocol on file close (§4.2):
+
+1. read the data cache file and provenance cache file;
+2. convert records to attribute-value pairs; spill >1 KB values to S3;
+   add the MD5(data ‖ nonce) record;
+3. store the item with PutAttributes (≤100 attributes per call, so
+   possibly several calls);
+4. PUT the object to S3 with the nonce as metadata.
+"""
+
+from __future__ import annotations
+
+from repro.aws.account import AWSAccount
+from repro.aws.faults import NO_FAULTS, FaultPlan
+from repro.aws.simpledb import Attribute
+from repro.core.base import (
+    call_with_retries,
+    Component,
+    DATA_BUCKET,
+    Flow,
+    PROV_DOMAIN,
+    ProvenanceCloudStore,
+    ReadResult,
+    RetryPolicy,
+    _InconsistentRead,
+    data_key,
+)
+from repro.errors import NoSuchKey, ReadCorrectnessViolation
+from repro.passlib.records import (
+    Attr,
+    FlushEvent,
+    ObjectRef,
+    ProvenanceBundle,
+    consistency_token,
+)
+from repro.passlib.serializer import SdbItemPayload, bundle_from_item, to_simpledb_items
+from repro.units import SDB_MAX_ATTRS_PER_CALL
+
+
+class S3SimpleDB(ProvenanceCloudStore):
+    """Data in S3, provenance in SimpleDB, MD5‖nonce consistency check."""
+
+    name = "s3+simpledb"
+
+    def __init__(
+        self,
+        account: AWSAccount,
+        faults: FaultPlan = NO_FAULTS,
+        retry: RetryPolicy | None = None,
+    ):
+        super().__init__(account, faults, retry)
+        self.consistency_retries = 0
+        self.orphans_removed = 0
+
+    def _do_provision(self) -> None:
+        self._ensure_bucket(DATA_BUCKET)
+        self.account.simpledb.create_domain(PROV_DOMAIN)
+
+    # -- store protocol (§4.2) ------------------------------------------------
+
+    def _do_store(self, event: FlushEvent) -> None:
+        faults = self.faults
+        faults.check("a2.store.begin")
+        # Steps 1-2: serialise; the file item carries md5+nonce records.
+        payloads = to_simpledb_items(event)
+        faults.check("a2.store.serialized")
+        for payload in payloads:
+            for overflow in payload.overflow:
+                call_with_retries(
+                    self.account.s3.put, DATA_BUCKET, overflow.key, overflow.value
+                )
+                faults.check("a2.store.overflow_put")
+        # Step 3: provenance first...
+        for payload in payloads:
+            self._put_item(payload)
+            faults.check("a2.store.after_put_attributes")
+        faults.check("a2.store.before_data_put")
+        # Step 4: ...then data. A crash between these two calls is the
+        # atomicity violation of Table 1.
+        call_with_retries(
+            self.account.s3.put,
+            DATA_BUCKET,
+            data_key(event.subject.name),
+            event.data,
+            metadata={"nonce": event.nonce},
+        )
+        faults.check("a2.store.done")
+
+    def _put_item(self, payload: SdbItemPayload) -> None:
+        """PutAttributes in batches of ≤100 attributes (§4.2 step 3)."""
+        attributes = [Attribute(name, value) for name, value in payload.attributes]
+        for start in range(0, len(attributes), SDB_MAX_ATTRS_PER_CALL):
+            batch = attributes[start : start + SDB_MAX_ATTRS_PER_CALL]
+            call_with_retries(
+                self.account.simpledb.put_attributes,
+                PROV_DOMAIN,
+                payload.item_name,
+                batch,
+            )
+
+    # -- read protocol -------------------------------------------------------------
+
+    def _do_read(self, name: str, version: int | None) -> ReadResult:
+        if version is None:
+            return self._read_current(name)
+        return self._read_version(name, version)
+
+    def _read_current(self, name: str) -> ReadResult:
+        data = self.account.s3.get(DATA_BUCKET, data_key(name))
+        nonce = data.metadata.get("nonce")
+        if nonce is None:
+            raise ReadCorrectnessViolation(f"{name}: S3 object carries no nonce")
+        subject = ObjectRef(name, int(nonce.lstrip("v")))
+        attrs = self.account.simpledb.get_attributes(PROV_DOMAIN, subject.item_name)
+        if not attrs:
+            # SimpleDB replica hasn't seen the item (or it was never
+            # stored — the orphan-data flavour of an atomicity break).
+            self.consistency_retries += 1
+            raise _InconsistentRead(f"{subject.item_name}: no provenance visible")
+        stored_token = (attrs.get(Attr.MD5) or ("",))[0]
+        expected = consistency_token(data.blob.md5(), nonce)
+        if stored_token != expected:
+            self.consistency_retries += 1
+            raise _InconsistentRead(
+                f"{subject.item_name}: md5 mismatch (data/provenance skew)"
+            )
+        bundle = self._decode_item(subject.item_name, attrs)
+        return ReadResult(subject=subject, data=data.blob, bundle=bundle, consistent=True)
+
+    def _read_version(self, name: str, version: int) -> ReadResult:
+        subject = ObjectRef(name, version)
+        attrs = self.account.simpledb.get_attributes(PROV_DOMAIN, subject.item_name)
+        if not attrs:
+            raise _InconsistentRead(f"{subject.item_name}: no provenance visible")
+        bundle = self._decode_item(subject.item_name, attrs)
+        # Data bytes survive only for the current version.
+        data = None
+        consistent = True
+        try:
+            current = self.account.s3.get(DATA_BUCKET, data_key(name))
+        except NoSuchKey:
+            current = None
+        if current is not None and current.metadata.get("nonce") == f"v{version:04d}":
+            stored_token = (attrs.get(Attr.MD5) or ("",))[0]
+            expected = consistency_token(current.blob.md5(), f"v{version:04d}")
+            if stored_token != expected:
+                self.consistency_retries += 1
+                raise _InconsistentRead(f"{subject.item_name}: md5 mismatch")
+            data = current.blob
+        return ReadResult(subject=subject, data=data, bundle=bundle, consistent=consistent)
+
+    def _decode_item(self, item_name: str, attrs) -> ProvenanceBundle:
+        def fetch_overflow(key: str) -> str:
+            return self.account.s3.get(DATA_BUCKET, key).bytes().decode("utf-8")
+
+        return bundle_from_item(item_name, attrs, fetch_overflow)
+
+    def version_history(self, name: str, max_gap: int = 2) -> list[ProvenanceBundle]:
+        """Every stored version's provenance, oldest first.
+
+        This is what the SimpleDB architectures add over A1: superseded
+        versions keep their provenance items even though S3 holds only
+        the current bytes, so the full revision chain of an object can
+        be reconstructed. Versions are probed sequentially (they are
+        allocated densely); ``max_gap`` consecutive misses end the probe,
+        tolerating replicas that have not seen the newest item yet.
+        """
+        self.provision()
+        history: list[ProvenanceBundle] = []
+        version = 1
+        misses = 0
+        while misses < max_gap:
+            subject = ObjectRef(name, version)
+            attrs = self.account.simpledb.get_attributes(
+                PROV_DOMAIN, subject.item_name
+            )
+            if attrs:
+                history.append(self._decode_item(subject.item_name, attrs))
+                misses = 0
+            else:
+                misses += 1
+            version += 1
+        return history
+
+    # -- recovery (the §4.2 "inelegant solution") --------------------------------------
+
+    def recover_orphans(self) -> list[str]:
+        """Scan SimpleDB for provenance of data S3 never stored.
+
+        An item is an orphan when it describes a *file* version newer
+        than anything S3 holds for that name — the signature of a client
+        that crashed between step 3 (provenance) and step 4 (data). The
+        scan touches every item in the domain, which is exactly why the
+        paper calls this recovery inelegant and motivates A3.
+        """
+        self.provision()
+        removed = []
+        token = None
+        while True:
+            page = self.account.simpledb.query_with_attributes(
+                PROV_DOMAIN, None, next_token=token
+            )
+            for item_name, attrs in page.items:
+                if Attr.MD5 not in attrs:
+                    continue  # transient-object item; no data expected
+                subject = ObjectRef.from_item_name(item_name)
+                if self._is_orphan(subject):
+                    self.account.simpledb.delete_attributes(PROV_DOMAIN, item_name)
+                    removed.append(item_name)
+            token = page.next_token
+            if token is None:
+                break
+        self.orphans_removed += len(removed)
+        return removed
+
+    def _is_orphan(self, subject: ObjectRef) -> bool:
+        try:
+            head = self.account.s3.head(DATA_BUCKET, data_key(subject.name))
+        except NoSuchKey:
+            return True
+        nonce = head.metadata.get("nonce", "v0000")
+        return int(nonce.lstrip("v")) < subject.version
+
+    # -- diagram (Figure 2) ---------------------------------------------------------------
+
+    def components(self) -> list[Component]:
+        return [
+            Component("application", "issues read/write/close system calls"),
+            Component("pass", "PASS capture layer + local cache"),
+            Component("s3", "Amazon S3: data objects (+ spilled values)"),
+            Component("simpledb", "Amazon SimpleDB: provenance items"),
+        ]
+
+    def flows(self) -> list[Flow]:
+        return [
+            Flow("application", "pass", "system calls"),
+            Flow("pass", "simpledb", "PutAttributes(provenance + md5//nonce)"),
+            Flow("pass", "s3", "PUT(data, nonce) on close"),
+            Flow("simpledb", "pass", "Query / QueryWithAttributes"),
+            Flow("s3", "pass", "GET data"),
+        ]

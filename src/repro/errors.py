@@ -1,0 +1,209 @@
+"""Exception hierarchy for the provenance-aware cloud reproduction.
+
+Every error raised by the simulated AWS services, the PASS capture layer,
+and the provenance architectures derives from :class:`ReproError` so callers
+can catch library errors without swallowing programming mistakes.
+
+The AWS-side errors mirror the failure classes the paper's protocols must
+tolerate: request rejections (limits exceeded, missing entities), transient
+service failures (which clients retry), and injected client crashes (which
+the write-ahead-log protocol of architecture A3 recovers from).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# AWS service-side errors
+# ---------------------------------------------------------------------------
+
+class AWSError(ReproError):
+    """Base class for errors returned by a simulated AWS service."""
+
+    #: Symbolic error code, mirroring AWS error-code strings.
+    code = "InternalError"
+
+
+class NoSuchBucket(AWSError):
+    """An S3 request named a bucket that does not exist."""
+
+    code = "NoSuchBucket"
+
+
+class NoSuchKey(AWSError):
+    """An S3 GET/HEAD/COPY/DELETE named an object that does not exist."""
+
+    code = "NoSuchKey"
+
+
+class BucketAlreadyExists(AWSError):
+    """An S3 CreateBucket named a bucket that already exists."""
+
+    code = "BucketAlreadyExists"
+
+
+class EntityTooLarge(AWSError):
+    """An S3 PUT exceeded the 5 GB object size limit."""
+
+    code = "EntityTooLarge"
+
+
+class EntityTooSmall(AWSError):
+    """An S3 PUT supplied an empty object (the minimum is one byte)."""
+
+    code = "EntityTooSmall"
+
+
+class MetadataTooLarge(AWSError):
+    """An S3 PUT supplied more than 2 KB of user metadata."""
+
+    code = "MetadataTooLarge"
+
+
+class InvalidRange(AWSError):
+    """A ranged S3 GET requested bytes outside the object."""
+
+    code = "InvalidRange"
+
+
+class NoSuchDomain(AWSError):
+    """A SimpleDB request named a domain that does not exist."""
+
+    code = "NoSuchDomain"
+
+
+class NumberItemAttributesExceeded(AWSError):
+    """A SimpleDB item would exceed 256 attribute-value pairs."""
+
+    code = "NumberItemAttributesExceeded"
+
+
+class NumberSubmittedAttributesExceeded(AWSError):
+    """A single PutAttributes call supplied more than 100 attributes."""
+
+    code = "NumberSubmittedAttributesExceeded"
+
+
+class AttributeValueTooLong(AWSError):
+    """A SimpleDB attribute name or value exceeded 1 KB."""
+
+    code = "InvalidParameterValue"
+
+
+class InvalidQueryExpression(AWSError):
+    """A SimpleDB query expression failed to parse."""
+
+    code = "InvalidQueryExpression"
+
+
+class InvalidNextToken(AWSError):
+    """A SimpleDB pagination token was stale or malformed."""
+
+    code = "InvalidNextToken"
+
+
+class QueryTimeout(AWSError):
+    """A SimpleDB query exceeded the service's processing budget."""
+
+    code = "RequestTimeout"
+
+
+class NoSuchQueue(AWSError):
+    """An SQS request named a queue that does not exist."""
+
+    code = "AWS.SimpleQueueService.NonExistentQueue"
+
+
+class QueueNameExists(AWSError):
+    """An SQS CreateQueue reused a name with different attributes."""
+
+    code = "QueueAlreadyExists"
+
+
+class MessageTooLong(AWSError):
+    """An SQS SendMessage exceeded the 8 KB message size limit."""
+
+    code = "MessageTooLong"
+
+
+class InvalidMessageContents(AWSError):
+    """An SQS message contained characters outside the allowed set."""
+
+    code = "InvalidMessageContents"
+
+
+class ReceiptHandleInvalid(AWSError):
+    """An SQS DeleteMessage used an expired or unknown receipt handle."""
+
+    code = "ReceiptHandleIsInvalid"
+
+
+class ServiceUnavailable(AWSError):
+    """Transient failure injected by the fault plan; callers may retry."""
+
+    code = "ServiceUnavailable"
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class ClientCrash(ReproError):
+    """Raised by a fault plan to simulate the client process dying.
+
+    The exception deliberately does *not* derive from :class:`AWSError`:
+    service state mutated before the crash point remains mutated, exactly
+    as if a real client host had lost power mid-protocol.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"client crashed at fault point {point!r}")
+        self.point = point
+
+
+# ---------------------------------------------------------------------------
+# PASS capture layer
+# ---------------------------------------------------------------------------
+
+class PassError(ReproError):
+    """Base class for PASS capture-layer errors."""
+
+
+class UnknownObject(PassError):
+    """An operation referenced a pnode that was never allocated."""
+
+
+class ObjectClosed(PassError):
+    """A syscall was issued against a closed file handle or exited process."""
+
+
+class CacheMiss(PassError):
+    """The local cache directory has no entry for the requested file."""
+
+
+# ---------------------------------------------------------------------------
+# Provenance architectures
+# ---------------------------------------------------------------------------
+
+class ArchitectureError(ReproError):
+    """Base class for provenance-architecture protocol errors."""
+
+
+class ReadCorrectnessViolation(ArchitectureError):
+    """A read observed data without matching provenance (or vice versa).
+
+    Architecture A2 raises this only when its bounded consistency-retry
+    loop is exhausted; the property checkers catch it to fill Table 1.
+    """
+
+
+class OrphanProvenance(ArchitectureError):
+    """Provenance exists for an object whose data was never stored."""
+
+
+class TransactionAborted(ArchitectureError):
+    """A WAL transaction was found incomplete and will never commit."""

@@ -1,0 +1,179 @@
+"""A fleet of PASS clients sharing one provenance-aware cloud.
+
+The paper's usage model (§2.5) is inherently multi-client: *"multiple
+clients can concurrently update different objects at the same time"* —
+many research groups sharing one S3 bucket and one provenance domain,
+each with its own PASS cache and (for A3) its own WAL queue and commit
+daemon.
+
+:class:`ClientFleet` models that deployment: each client owns a
+namespace (so the no-concurrent-same-object rule holds by construction),
+clients' stores interleave round-robin, any client can crash and a new
+incarnation take over, and the shared provenance domain answers
+queries spanning everybody's work — the cross-group sharing the paper's
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.aws.account import AWSAccount, ConsistencyConfig
+from repro.aws.faults import FaultPlan
+from repro.core.base import RetryPolicy
+from repro.core.s3_simpledb import S3SimpleDB
+from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
+from repro.core.s3_standalone import S3Standalone
+from repro.errors import ClientCrash
+from repro.passlib.records import FlushEvent
+from repro.query.engine import S3ScanEngine, SimpleDBEngine
+
+_FACTORIES = {
+    "s3": S3Standalone,
+    "s3+simpledb": S3SimpleDB,
+    "s3+simpledb+sqs": S3SimpleDBSQS,
+}
+
+
+@dataclass
+class FleetClient:
+    """One client host: its store instance and pending work."""
+
+    name: str
+    store: object
+    pending: list[FlushEvent] = field(default_factory=list)
+    stored: int = 0
+    crashes: int = 0
+
+    @property
+    def backlog(self) -> int:
+        return len(self.pending)
+
+
+class ClientFleet:
+    """N clients, one cloud, interleaved stores, crash/restart support."""
+
+    def __init__(
+        self,
+        n_clients: int = 3,
+        architecture: str = "s3+simpledb+sqs",
+        seed: int = 0,
+        consistency: ConsistencyConfig | None = None,
+    ):
+        if architecture not in _FACTORIES:
+            raise ValueError(f"unknown architecture {architecture!r}")
+        self.architecture = architecture
+        self.account = AWSAccount(
+            seed=seed, consistency=consistency or ConsistencyConfig.strong()
+        )
+        self._rng = random.Random(f"fleet:{seed}")
+        self.clients: dict[str, FleetClient] = {}
+        for index in range(n_clients):
+            self._spawn(f"client-{index}")
+
+    # -- client lifecycle ----------------------------------------------------
+
+    def _spawn(self, name: str, faults: FaultPlan | None = None) -> FleetClient:
+        retry = RetryPolicy(
+            attempts=12, wait=lambda: self.account.clock.advance(0.5)
+        )
+        kwargs = {}
+        if self.architecture == "s3+simpledb+sqs":
+            kwargs["client_id"] = name
+        store = _FACTORIES[self.architecture](
+            self.account, faults=faults or FaultPlan(), retry=retry, **kwargs
+        )
+        store.provision()
+        client = FleetClient(name=name, store=store)
+        self.clients[name] = client
+        return client
+
+    def crash_client(self, name: str) -> None:
+        """The host dies: in-flight work is lost; backlog survives only
+        because the *workload generator* can resubmit it (a real grid
+        scheduler would)."""
+        client = self.clients[name]
+        client.crashes += 1
+        pending = client.pending
+        replacement = self._spawn(name)
+        replacement.pending = pending
+        replacement.crashes = client.crashes
+
+    # -- work distribution -------------------------------------------------------
+
+    def submit(self, client_name: str, events: list[FlushEvent]) -> None:
+        """Queue a client's flush events (its own namespace of objects)."""
+        self.clients[client_name].pending.extend(events)
+
+    def run_round_robin(self, batch: int = 5, crash_schedule: dict | None = None) -> int:
+        """Interleave stores across clients until every backlog drains.
+
+        ``crash_schedule`` maps client name → the store count at which
+        that host dies mid-protocol. The fleet restarts the client (a
+        fresh incarnation over the same backlog — the grid scheduler
+        resubmits the interrupted job) and continues; store protocols
+        are idempotent under such resubmission.
+        """
+        crash_schedule = dict(crash_schedule or {})
+        total = 0
+        progress = True
+        while progress:
+            progress = False
+            for name in sorted(self.clients):
+                client = self.clients[name]
+                for _ in range(min(batch, client.backlog)):
+                    event = client.pending[0]
+                    if crash_schedule.get(name) == client.stored:
+                        del crash_schedule[name]
+                        client.store.faults.crash_at_call(
+                            len(client.store.faults.log) + 3
+                        )
+                        try:
+                            client.store.store(event)
+                        except ClientCrash:
+                            self.crash_client(name)
+                            break  # next incarnation picks the event up
+                    client.store.store(event)
+                    client.pending.pop(0)
+                    client.stored += 1
+                    total += 1
+                if client.backlog:
+                    progress = True
+        self.settle()
+        return total
+
+    def settle(self) -> None:
+        """Drain every client's daemon and let replication converge."""
+        for _ in range(10):
+            busy = False
+            for client in self.clients.values():
+                if isinstance(client.store, S3SimpleDBSQS):
+                    client.store.restart_commit_daemon().drain()
+                    if self.account.sqs.exact_message_count(client.store.queue_url):
+                        busy = True
+            self.account.quiesce()
+            if not busy:
+                return
+            self.account.clock.advance(150.0)
+
+    # -- shared queries ---------------------------------------------------------------
+
+    def query_engine(self):
+        if self.architecture == "s3":
+            return S3ScanEngine(self.account)
+        return SimpleDBEngine(self.account)
+
+    def read(self, name: str):
+        """Read through any client (they share the cloud)."""
+        first = next(iter(sorted(self.clients)))
+        return self.clients[first].store.read(name)
+
+    def total_stored(self) -> int:
+        return sum(client.stored for client in self.clients.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClientFleet({self.architecture!r}, clients={len(self.clients)}, "
+            f"stored={self.total_stored()})"
+        )

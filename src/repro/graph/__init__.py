@@ -1,0 +1,12 @@
+"""Provenance graphs and architecture diagrams.
+
+* :mod:`repro.graph.provgraph` — a networkx-backed provenance DAG built
+  from flush events, used as the test oracle and by the analysis module;
+* :mod:`repro.graph.diagrams` — renders each architecture's component
+  and dataflow structure (the paper's Figures 1–3) as ASCII art and DOT.
+"""
+
+from repro.graph.diagrams import render_ascii, render_dot
+from repro.graph.provgraph import ProvenanceGraph
+
+__all__ = ["ProvenanceGraph", "render_ascii", "render_dot"]

@@ -1,0 +1,49 @@
+"""PASS — a Provenance-Aware Storage System (user-level simulation).
+
+The paper's system model (§2.4) assumes a PASS client: a storage system
+that observes the system calls applications make, derives provenance
+records from them (a ``read`` makes the process depend on the file; a
+``write`` makes the file depend on the process), versions objects to
+preserve causality, records provenance for transient objects (processes,
+pipes), and caches both data and provenance locally until a file
+``close`` flushes them to the backend.
+
+This subpackage reimplements that capture pipeline in user space:
+
+* :mod:`repro.passlib.records` — provenance records, object references,
+  flush events (the interchange format for the whole library);
+* :mod:`repro.passlib.objects` — pnode-identified files/processes/pipes;
+* :mod:`repro.passlib.versioning` — the freeze-and-bump versioning rule
+  that keeps the provenance graph acyclic;
+* :mod:`repro.passlib.capture` — :class:`PassSystem`, the syscall
+  observation facade used by workload generators and examples;
+* :mod:`repro.passlib.cache` — the client's local data/provenance cache;
+* :mod:`repro.passlib.serializer` — conversions between records and the
+  S3-metadata / SimpleDB / SQS-WAL wire formats.
+"""
+
+from repro.passlib.capture import PassSystem, ProcessHandle
+from repro.passlib.cache import LocalCache
+from repro.passlib.objects import Kind, PassObject
+from repro.passlib.records import (
+    Attr,
+    FlushEvent,
+    ObjectRef,
+    ProvenanceBundle,
+    ProvenanceRecord,
+)
+from repro.passlib.versioning import VersionManager
+
+__all__ = [
+    "PassSystem",
+    "ProcessHandle",
+    "LocalCache",
+    "Kind",
+    "PassObject",
+    "Attr",
+    "FlushEvent",
+    "ObjectRef",
+    "ProvenanceBundle",
+    "ProvenanceRecord",
+    "VersionManager",
+]

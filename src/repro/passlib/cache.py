@@ -1,0 +1,124 @@
+"""The client's local cache: mirrored data plus hidden provenance files.
+
+All three architectures share this client-side arrangement (§4.1): *"We
+mirror the file system in a local cache directory, reducing traffic to
+S3. We also cache provenance locally in a file hidden from the user.
+When the application issues a close on a file, we send both the file and
+its provenance"* to the backend.
+
+:class:`LocalCache` models that directory: a data entry per file path and
+a hidden provenance entry per object version. The architectures' store
+protocols begin by *reading the cache* (protocol step 1 in §4), so the
+cache is the hand-off point between the PASS capture layer and the cloud
+protocols — and the state that survives an application crash but not a
+client-host loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blob import Blob
+from repro.errors import CacheMiss
+from repro.passlib.records import ObjectRef, ProvenanceBundle
+
+
+@dataclass
+class CacheEntry:
+    """One cached file: current content plus per-version dirtiness."""
+
+    path: str
+    blob: Blob
+    version: int
+    dirty: bool = True
+
+
+class LocalCache:
+    """In-memory model of the client's cache directory.
+
+    Data lives under the user-visible path; provenance bundles live in a
+    "hidden" namespace keyed by object version (mirroring PASS's hidden
+    provenance files). ``read_back`` counts how often the cache saved a
+    round trip to S3, which examples surface when discussing cost.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, CacheEntry] = {}
+        self._provenance: dict[ObjectRef, ProvenanceBundle] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- data side ---------------------------------------------------------
+
+    def put_data(self, path: str, blob: Blob, version: int) -> None:
+        """Install file content for ``path`` at ``version`` (marks dirty)."""
+        self._data[path] = CacheEntry(path=path, blob=blob, version=version)
+
+    def get_data(self, path: str) -> CacheEntry:
+        entry = self._data.get(path)
+        if entry is None:
+            self.misses += 1
+            raise CacheMiss(path)
+        self.hits += 1
+        return entry
+
+    def has_data(self, path: str) -> bool:
+        return path in self._data
+
+    def mark_clean(self, path: str) -> None:
+        entry = self._data.get(path)
+        if entry is not None:
+            entry.dirty = False
+
+    def dirty_paths(self) -> list[str]:
+        return sorted(p for p, e in self._data.items() if e.dirty)
+
+    # -- hidden provenance side ------------------------------------------------
+
+    def put_provenance(self, bundle: ProvenanceBundle) -> None:
+        self._provenance[bundle.subject] = bundle
+
+    def get_provenance(self, ref: ObjectRef) -> ProvenanceBundle:
+        bundle = self._provenance.get(ref)
+        if bundle is None:
+            self.misses += 1
+            raise CacheMiss(ref.encode())
+        self.hits += 1
+        return bundle
+
+    def has_provenance(self, ref: ObjectRef) -> bool:
+        return ref in self._provenance
+
+    def provenance_refs(self) -> list[ObjectRef]:
+        return sorted(self._provenance, key=lambda r: (r.name, r.version))
+
+    def clear_provenance(self) -> int:
+        """Drop cached provenance bundles (they are safe on the backend).
+
+        Returns the number of bundles dropped. Used by paper-scale trace
+        generation to bound client memory.
+        """
+        dropped = len(self._provenance)
+        self._provenance.clear()
+        return dropped
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def evict(self, path: str) -> None:
+        """Drop a file's data (e.g. under cache pressure); provenance stays."""
+        self._data.pop(path, None)
+
+    def clear(self) -> None:
+        """Model losing the client host: all cached state is gone."""
+        self._data.clear()
+        self._provenance.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LocalCache(files={len(self._data)}, "
+            f"bundles={len(self._provenance)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

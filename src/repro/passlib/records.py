@@ -1,0 +1,217 @@
+"""Provenance records — the interchange format of the whole library.
+
+A PASS provenance record is an attribute of one **object version**: the
+paper's example is version 2 of object ``foo`` carrying records
+``(input, bar:2)`` and ``(type, file)`` (§4.2). We model that as
+:class:`ProvenanceRecord` rows whose subject is an :class:`ObjectRef`
+(name + version) and whose value is either a plain string or another
+``ObjectRef`` (a cross-reference, i.e. a provenance-graph edge).
+
+Encodings follow the paper's conventions:
+
+* cross references render as ``name:vNNNN`` (the paper prints ``bar:2``;
+  we zero-pad so lexicographic order in SimpleDB matches version order);
+* a version's SimpleDB item name is ``name_vNNNN`` (the paper's
+  ``foo_2``);
+* versions start at 1 for the first flushed state of an object.
+
+:class:`ProvenanceBundle` groups the records describing one object
+version; :class:`FlushEvent` pairs a bundle with the object's data (for
+files) and lists the transient-ancestor bundles that must ride along —
+the unit of work the three architectures' ``store`` protocols consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.blob import Blob
+
+#: Width of the zero-padded version field in encoded references.
+VERSION_DIGITS = 4
+
+
+class Attr:
+    """Well-known provenance attribute names (PASS record types)."""
+
+    INPUT = "input"          # value: ObjectRef — the ancestry edge
+    TYPE = "type"            # value: 'file' | 'process' | 'pipe'
+    NAME = "name"            # human name (program or file basename)
+    ARGV = "argv"            # process arguments (may exceed 1 KB)
+    ENV = "env"              # process environment (regularly exceeds 1 KB)
+    PID = "pid"
+    VERSION_OF = "prev_version"  # value: ObjectRef to the previous version
+    MD5 = "md5"              # consistency record: H(data-md5 || nonce)
+    NONCE = "nonce"
+    CREATED = "created"      # simulated timestamp of version creation
+    WORKLOAD = "workload"    # which generator produced the object
+
+    #: Attributes whose values are cross references.
+    REF_VALUED = frozenset({INPUT, VERSION_OF})
+
+
+@dataclass(frozen=True, order=True)
+class ObjectRef:
+    """A (name, version) reference to one object version."""
+
+    name: str
+    version: int
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError(f"versions start at 1, got {self.version} for {self.name!r}")
+
+    def encode(self) -> str:
+        """Wire encoding used in record values: ``name:vNNNN``."""
+        return f"{self.name}:v{self.version:0{VERSION_DIGITS}d}"
+
+    @property
+    def item_name(self) -> str:
+        """SimpleDB item name for this version: ``name_vNNNN``."""
+        return f"{self.name}_v{self.version:0{VERSION_DIGITS}d}"
+
+    @classmethod
+    def decode(cls, text: str) -> "ObjectRef":
+        """Inverse of :meth:`encode`.
+
+        >>> ObjectRef.decode("bar:v0002")
+        ObjectRef(name='bar', version=2)
+        """
+        name, _, version_text = text.rpartition(":v")
+        if not name or not version_text.isdigit():
+            raise ValueError(f"not an encoded ObjectRef: {text!r}")
+        return cls(name=name, version=int(version_text))
+
+    @classmethod
+    def from_item_name(cls, item_name: str) -> "ObjectRef":
+        """Inverse of :attr:`item_name`.
+
+        >>> ObjectRef.from_item_name("foo_v0002")
+        ObjectRef(name='foo', version=2)
+        """
+        name, _, version_text = item_name.rpartition("_v")
+        if not name or not version_text.isdigit():
+            raise ValueError(f"not an item name: {item_name!r}")
+        return cls(name=name, version=int(version_text))
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One (subject, attribute, value) provenance row."""
+
+    subject: ObjectRef
+    attribute: str
+    value: "str | ObjectRef"
+
+    @property
+    def is_reference(self) -> bool:
+        return isinstance(self.value, ObjectRef)
+
+    def encoded_value(self) -> str:
+        """The value as stored on the wire (references use ``encode``)."""
+        if isinstance(self.value, ObjectRef):
+            return self.value.encode()
+        return self.value
+
+    @property
+    def value_size(self) -> int:
+        """Byte size of the encoded value (what the 1 KB spill rule sees)."""
+        return len(self.encoded_value().encode("utf-8"))
+
+    def __str__(self) -> str:
+        return f"{self.subject.encode()} {self.attribute}={self.encoded_value()}"
+
+
+@dataclass(frozen=True)
+class ProvenanceBundle:
+    """All provenance records describing one object version."""
+
+    subject: ObjectRef
+    kind: str  # 'file' | 'process' | 'pipe'
+    records: tuple[ProvenanceRecord, ...]
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            if record.subject != self.subject:
+                raise ValueError(
+                    f"record {record} does not describe {self.subject.encode()}"
+                )
+
+    def inputs(self) -> list[ObjectRef]:
+        """Cross references this version depends on (ancestry edges)."""
+        return [
+            record.value
+            for record in self.records
+            if record.attribute in Attr.REF_VALUED and isinstance(record.value, ObjectRef)
+        ]
+
+    def attribute_values(self, attribute: str) -> list[str]:
+        return [
+            record.encoded_value()
+            for record in self.records
+            if record.attribute == attribute
+        ]
+
+    def total_size(self) -> int:
+        """Total encoded bytes (attribute names + values)."""
+        return sum(
+            len(r.attribute.encode()) + r.value_size for r in self.records
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ProvenanceRecord]:
+        return iter(self.records)
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """The unit the architectures store: one file close.
+
+    ``data`` is the file content at close time. ``ancestors`` carries the
+    provenance bundles of transient objects (processes, pipes) that this
+    file's provenance references and that have not been persisted by an
+    earlier flush — PASS ships ancestors first to maintain (eventual)
+    causal ordering (§3, property 2).
+    """
+
+    bundle: ProvenanceBundle
+    data: Blob
+    ancestors: tuple[ProvenanceBundle, ...] = ()
+
+    @property
+    def subject(self) -> ObjectRef:
+        return self.bundle.subject
+
+    @property
+    def nonce(self) -> str:
+        """The consistency nonce — 'typically the file version' (§4.2)."""
+        return f"v{self.subject.version:0{VERSION_DIGITS}d}"
+
+    def all_bundles(self) -> tuple[ProvenanceBundle, ...]:
+        """Ancestor bundles first, then the file's own bundle."""
+        return (*self.ancestors, self.bundle)
+
+    def all_records(self) -> list[ProvenanceRecord]:
+        return [record for bundle in self.all_bundles() for record in bundle]
+
+
+def consistency_token(data_md5: str, nonce: str) -> str:
+    """The MD5(data ‖ nonce) value stored with provenance (§4.2).
+
+    Computed from the data digest rather than the raw bytes so that
+    paper-scale synthetic blobs never need materialising; collision
+    behaviour is equivalent for the consistency check's purposes
+    (it changes iff the data digest or the nonce changes).
+    """
+    import hashlib
+
+    return hashlib.md5(f"{data_md5}|{nonce}".encode("utf-8")).hexdigest()
+
+
+def iter_records(bundles: Iterable[ProvenanceBundle]) -> Iterator[ProvenanceRecord]:
+    """All records across bundles, in bundle order."""
+    for bundle in bundles:
+        yield from bundle

@@ -1,0 +1,339 @@
+"""The Q1/Q2/Q3 query engines (paper §5, Table 3).
+
+The three representative queries:
+
+* **Q1** — given an object and version, retrieve that version's
+  provenance. (The paper runs it over *all* objects, since a single
+  lookup cannot differentiate the backends.)
+* **Q2** — find all files that were outputs of ``blast``: first find the
+  blast process instances, then the objects listing one as an input.
+* **Q3** — find all descendants of files derived from ``blast``:
+  Q2's result set closed transitively over input edges. SimpleDB has no
+  recursive queries or stored procedures, so the client iterates —
+  one batched query per BFS frontier chunk.
+
+Each engine method returns a :class:`QueryMeasurement` whose operation
+and byte counts come from meter deltas — the queries are charged exactly
+what the simulated AWS services metered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aws import billing
+from repro.aws.account import AWSAccount
+from repro.aws.billing import Usage
+from repro.core.base import DATA_BUCKET, PROV_DOMAIN
+from repro.errors import NoSuchKey
+from repro.passlib.records import Attr, ObjectRef, ProvenanceBundle
+from repro.passlib.serializer import (
+    POINTER_PREFIX,
+    bundle_from_item,
+    bundles_from_s3_metadata,
+)
+
+#: Cross-reference values packed into one bracket predicate (bounded by
+#: SimpleDB's query-expression size limits).
+REF_BATCH = 20
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """A query's result set plus what it cost to compute."""
+
+    refs: tuple[ObjectRef, ...]
+    operations: int
+    bytes_out: int
+    usage: Usage
+
+    @property
+    def result_count(self) -> int:
+        return len(self.refs)
+
+
+class _Metered:
+    """Shared meter-delta bookkeeping."""
+
+    def __init__(self, account: AWSAccount):
+        self.account = account
+
+    def _measure(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
+        spent = self.account.meter.snapshot() - before
+        return QueryMeasurement(
+            refs=tuple(sorted(refs)),
+            operations=spent.request_count(),
+            bytes_out=spent.transfer_out(),
+            usage=spent,
+        )
+
+
+class S3ScanEngine(_Metered):
+    """Queries against architecture A1: scan every object's metadata.
+
+    "If we do not know the exact object whose provenance we seek, then we
+    might need to iterate over the provenance of every object in the
+    repository, which is so inefficient as to be impractical." (§4.1)
+    """
+
+    def __init__(self, account: AWSAccount, bucket: str = DATA_BUCKET):
+        super().__init__(account)
+        self.bucket = bucket
+
+    # -- scanning -----------------------------------------------------------
+
+    def _data_keys(self) -> list[str]:
+        keys: list[str] = []
+        marker: str | None = None
+        while True:
+            page = self.account.s3.list_keys(self.bucket, marker=marker)
+            keys.extend(k for k in page.keys if not k.startswith(".pass/"))
+            if not page.is_truncated:
+                break
+            marker = page.next_marker
+        return keys
+
+    def _fetch_overflow(self, key: str) -> str:
+        return self.account.s3.get(self.bucket, key).bytes().decode("utf-8")
+
+    def scan_bundles(self) -> list[ProvenanceBundle]:
+        """HEAD every object; decode its own + piggybacked bundles."""
+        bundles: list[ProvenanceBundle] = []
+        for key in self._data_keys():
+            try:
+                head = self.account.s3.head(self.bucket, key)
+            except NoSuchKey:
+                continue  # replica lag on a brand-new object
+            nonce = head.metadata.get("nonce", "v0001")
+            subject = ObjectRef(key, int(nonce.lstrip("v")))
+            own, ancestors = bundles_from_s3_metadata(
+                subject, head.metadata, self._fetch_overflow
+            )
+            bundles.append(own)
+            bundles.extend(ancestors)
+        return bundles
+
+    # -- the three queries ------------------------------------------------------
+
+    def q1_all(self) -> QueryMeasurement:
+        """Provenance of every object version (HEAD + overflow GETs)."""
+        before = self.account.meter.snapshot()
+        refs = {bundle.subject for bundle in self.scan_bundles()}
+        return self._measure(refs, before)
+
+    def q2_outputs_of(self, program: str) -> QueryMeasurement:
+        """Files that are outputs of ``program`` — via a full scan."""
+        before = self.account.meter.snapshot()
+        bundles = self.scan_bundles()
+        refs = _direct_outputs(bundles, program)
+        return self._measure(refs, before)
+
+    def q3_descendants_of(self, program: str) -> QueryMeasurement:
+        """Transitive descendants of files derived from ``program``.
+
+        The scan is executed once and the closure computed from cache —
+        the paper notes the second phase "can, of course, be executed
+        from a cache".
+        """
+        before = self.account.meter.snapshot()
+        bundles = self.scan_bundles()
+        seeds = _direct_outputs(bundles, program)
+        refs = _descendant_closure(bundles, seeds)
+        return self._measure(refs, before)
+
+
+class SimpleDBEngine(_Metered):
+    """Queries against architectures A2/A3: indexed SimpleDB lookups.
+
+    ``select_mode=True`` issues the same logical queries through the
+    SELECT front-end (§2.2 lists Query, QueryWithAttributes *and*
+    SELECT); results are identical, only the wire language differs.
+    """
+
+    def __init__(
+        self,
+        account: AWSAccount,
+        domain: str = PROV_DOMAIN,
+        bucket: str = DATA_BUCKET,
+        ref_batch: int = REF_BATCH,
+        select_mode: bool = False,
+    ):
+        super().__init__(account)
+        self.domain = domain
+        self.bucket = bucket
+        self.ref_batch = ref_batch
+        self.select_mode = select_mode
+
+    def _fetch_overflow(self, key: str) -> str:
+        return self.account.s3.get(self.bucket, key).bytes().decode("utf-8")
+
+    # -- Q1 -------------------------------------------------------------------
+
+    def q1(self, ref: ObjectRef) -> QueryMeasurement:
+        """Provenance of one object version: a single indexed lookup."""
+        before = self.account.meter.snapshot()
+        attrs = self.account.simpledb.get_attributes(self.domain, ref.item_name)
+        refs: set[ObjectRef] = set()
+        if attrs:
+            bundle = bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
+            refs.add(bundle.subject)
+        return self._measure(refs, before)
+
+    def q1_all(self) -> QueryMeasurement:
+        """Q1 over every item: one lookup *per item* (§5's 72K ops).
+
+        SimpleDB cannot "generalise the query", so after paging through
+        the item names it issues one GetAttributes per item (plus a GET
+        per spilled value).
+        """
+        before = self.account.meter.snapshot()
+        refs: set[ObjectRef] = set()
+        token: str | None = None
+        names: list[str] = []
+        while True:
+            page = self.account.simpledb.query(self.domain, None, next_token=token)
+            names.extend(page.item_names)
+            token = page.next_token
+            if token is None:
+                break
+        for item_name in names:
+            attrs = self.account.simpledb.get_attributes(self.domain, item_name)
+            if not attrs:
+                continue
+            bundle = bundle_from_item(item_name, attrs, self._fetch_overflow)
+            refs.add(bundle.subject)
+        return self._measure(refs, before)
+
+    # -- Q2 -------------------------------------------------------------------------
+
+    def _paged_query(self, expression: str, select: str):
+        """Run one logical query via the configured front-end, paging.
+
+        Yields (item name, attrs) pairs; the bracket expression and the
+        SELECT statement are two spellings of the same predicate.
+        """
+        token: str | None = None
+        while True:
+            if self.select_mode:
+                page = self.account.simpledb.select(select, next_token=token)
+            else:
+                page = self.account.simpledb.query_with_attributes(
+                    self.domain,
+                    expression,
+                    attribute_names=[Attr.TYPE],
+                    next_token=token,
+                )
+            yield from page.items
+            token = page.next_token
+            if token is None:
+                return
+
+    def _find_program_instances(self, program: str) -> set[ObjectRef]:
+        """Phase 1: all process versions of ``program``."""
+        expression = f"['type' = 'process'] intersection ['name' = '{program}']"
+        select = (
+            f"select type from {self.domain} "
+            f"where type = 'process' and name = '{program}'"
+        )
+        return {
+            ObjectRef.from_item_name(name)
+            for name, _ in self._paged_query(expression, select)
+        }
+
+    def _objects_with_inputs(self, inputs: set[ObjectRef]) -> set[tuple[ObjectRef, str]]:
+        """All items listing any of ``inputs`` as an input, with their type."""
+        found: set[tuple[ObjectRef, str]] = set()
+        ordered = sorted(inputs)
+        for start in range(0, len(ordered), self.ref_batch):
+            chunk = ordered[start : start + self.ref_batch]
+            disjunction = " or ".join(f"'input' = '{ref.encode()}'" for ref in chunk)
+            expression = f"[{disjunction}]"
+            in_list = ", ".join(f"'{ref.encode()}'" for ref in chunk)
+            select = f"select type from {self.domain} where input in ({in_list})"
+            for name, attrs in self._paged_query(expression, select):
+                kind = (attrs.get(Attr.TYPE) or ("file",))[0]
+                found.add((ObjectRef.from_item_name(name), kind))
+        return found
+
+    def q2_outputs_of(self, program: str) -> QueryMeasurement:
+        """Files that are outputs of ``program`` — two indexed phases (§5)."""
+        before = self.account.meter.snapshot()
+        instances = self._find_program_instances(program)
+        refs: set[ObjectRef] = set()
+        if instances:
+            refs = {
+                ref for ref, kind in self._objects_with_inputs(instances) if kind == "file"
+            }
+        return self._measure(refs, before)
+
+    # -- Q3 ------------------------------------------------------------------------------
+
+    def q3_descendants_of(self, program: str) -> QueryMeasurement:
+        """Transitive descendants — client-side BFS, batched queries.
+
+        "SimpleDB ... does not support recursive queries or stored
+        procedures. Hence, for ancestry queries, it has to retrieve each
+        item ... then lookup further ancestors." (§5)
+        """
+        before = self.account.meter.snapshot()
+        instances = self._find_program_instances(program)
+        seeds = {
+            ref for ref, kind in self._objects_with_inputs(instances) if kind == "file"
+        }
+        visited: set[ObjectRef] = set(seeds)
+        results: set[ObjectRef] = set(seeds)
+        frontier = set(seeds)
+        while frontier:
+            children = self._objects_with_inputs(frontier)
+            frontier = set()
+            for ref, kind in children:
+                if ref in visited:
+                    continue
+                visited.add(ref)
+                frontier.add(ref)
+                if kind == "file":
+                    results.add(ref)
+        return self._measure(results, before)
+
+
+# ---------------------------------------------------------------------------
+# Shared closure helpers (also used by the scan engine)
+# ---------------------------------------------------------------------------
+
+def _direct_outputs(bundles: list[ProvenanceBundle], program: str) -> set[ObjectRef]:
+    """Files whose inputs include a process instance of ``program``."""
+    instances = {
+        bundle.subject
+        for bundle in bundles
+        if bundle.kind == "process" and program in bundle.attribute_values(Attr.NAME)
+    }
+    return {
+        bundle.subject
+        for bundle in bundles
+        if bundle.kind == "file" and any(ref in instances for ref in bundle.inputs())
+    }
+
+
+def _descendant_closure(
+    bundles: list[ProvenanceBundle], seeds: set[ObjectRef]
+) -> set[ObjectRef]:
+    """Transitive descendants of ``seeds`` (files only), via input edges."""
+    children: dict[ObjectRef, set[ObjectRef]] = {}
+    kind_of: dict[ObjectRef, str] = {}
+    for bundle in bundles:
+        kind_of[bundle.subject] = bundle.kind
+        for parent in bundle.inputs():
+            children.setdefault(parent, set()).add(bundle.subject)
+    visited = set(seeds)
+    results = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for child in children.get(node, ()):
+            if child in visited:
+                continue
+            visited.add(child)
+            frontier.append(child)
+            if kind_of.get(child) == "file":
+                results.add(child)
+    return results

@@ -1,0 +1,154 @@
+"""One-stop simulation wiring: cloud + architecture + workload + queries.
+
+:class:`Simulation` is the highest-level entry point — what the README
+quickstart uses::
+
+    sim = Simulation(architecture="s3+simpledb+sqs", seed=42)
+    sim.run_workload(BlastWorkload(), scale=0.2)
+    result = sim.store.read("blast/out/run0/q0000.blast")
+    outputs = sim.query_engine().q2_outputs_of("blast")
+
+It owns the :class:`~repro.aws.account.AWSAccount` (clock, meter,
+services), constructs the requested architecture with a clock-advancing
+retry policy, streams workload events through the store protocol
+(pumping the A3 commit daemon as it goes), and hands out the matching
+query engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.aws.account import AWSAccount, ConsistencyConfig
+from repro.aws.faults import FaultPlan, NO_FAULTS
+from repro.core.base import ProvenanceCloudStore, ReadResult, RetryPolicy
+from repro.core.s3_simpledb import S3SimpleDB
+from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
+from repro.core.s3_standalone import S3Standalone
+from repro.passlib.records import FlushEvent
+from repro.query.engine import S3ScanEngine, SimpleDBEngine
+from repro.workloads.base import TraceStats, Workload
+
+_FACTORIES = {
+    "s3": S3Standalone,
+    "s3+simpledb": S3SimpleDB,
+    "s3+simpledb+sqs": S3SimpleDBSQS,
+}
+
+
+class Simulation:
+    """A wired-up provenance-aware cloud."""
+
+    def __init__(
+        self,
+        architecture: str = "s3+simpledb+sqs",
+        seed: int = 0,
+        consistency: ConsistencyConfig | None = None,
+        faults: FaultPlan = NO_FAULTS,
+        retry_attempts: int = 10,
+        pump_every: int = 25,
+        **architecture_kwargs,
+    ):
+        if architecture not in _FACTORIES:
+            raise ValueError(
+                f"unknown architecture {architecture!r}; "
+                f"expected one of {sorted(_FACTORIES)}"
+            )
+        self.architecture = architecture
+        self.seed = seed
+        self.account = AWSAccount(
+            seed=seed, consistency=consistency or ConsistencyConfig.strong()
+        )
+        retry = RetryPolicy(
+            attempts=retry_attempts,
+            wait=lambda: self.account.clock.advance(0.5),
+        )
+        self.store: ProvenanceCloudStore = _FACTORIES[architecture](
+            self.account, faults=faults, retry=retry, **architecture_kwargs
+        )
+        self.store.provision()
+        self._pump_every = pump_every
+        self.events_stored = 0
+        self.stats = TraceStats()
+
+    # -- storing ------------------------------------------------------------
+
+    def store_events(self, events: Iterable[FlushEvent], collect: bool = True) -> int:
+        """Stream flush events through the architecture's store protocol."""
+        count = 0
+        for event in events:
+            self.store.store(event)
+            if collect:
+                self.stats.add_event(event)
+            count += 1
+            if count % self._pump_every == 0:
+                self.pump()
+        self.settle()
+        return count
+
+    def settle(self, max_rounds: int = 12) -> None:
+        """Run daemons and let eventual consistency fully converge.
+
+        Under an adversarial consistency window the commit daemon can
+        legitimately *defer* transactions (the temp object has not
+        reached any sampled replica yet) — their messages stay locked
+        until the visibility timeout. Settling models the passage of
+        real time: quiesce replication, let timeouts lapse, re-run the
+        daemon, until the WAL is empty.
+        """
+        self.pump()
+        self.account.quiesce()
+        if not isinstance(self.store, S3SimpleDBSQS):
+            return
+        for _ in range(max_rounds):
+            if self.account.sqs.exact_visible_count(self.store.queue_url) == 0:
+                remaining = self.account.sqs.exact_message_count(self.store.queue_url)
+                if remaining == 0:
+                    return
+            self.account.clock.advance(150.0)  # past the visibility timeout
+            self.pump()
+            self.account.quiesce()
+
+    def run_workload(
+        self, workload: Workload, scale: float = 1.0, seed: int | None = None
+    ) -> int:
+        """Generate and store a workload trace; returns events stored."""
+        rng = random.Random(f"{workload.name}:{self.seed if seed is None else seed}")
+        stored = self.store_events(workload.iter_events(rng, scale))
+        self.events_stored += stored
+        return stored
+
+    def pump(self) -> None:
+        """Drain the A3 commit daemon (no-op for the other architectures)."""
+        if isinstance(self.store, S3SimpleDBSQS):
+            self.store.pump()
+
+    # -- reading / querying ---------------------------------------------------
+
+    def read(self, name: str, version: int | None = None) -> ReadResult:
+        return self.store.read(name, version)
+
+    def query_engine(self):
+        """The Table 3 query engine matching this architecture."""
+        if self.architecture == "s3":
+            return S3ScanEngine(self.account)
+        return SimpleDBEngine(self.account)
+
+    def scan_engine(self) -> S3ScanEngine:
+        """An S3-scan engine (for apples-to-apples comparisons)."""
+        return S3ScanEngine(self.account)
+
+    # -- accounting ------------------------------------------------------------
+
+    def usage(self):
+        return self.account.meter.snapshot()
+
+    def bill(self) -> str:
+        return self.account.bill()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulation({self.architecture!r}, events={self.events_stored}, "
+            f"now={self.account.clock.now:.0f}s)"
+        )

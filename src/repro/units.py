@@ -1,0 +1,97 @@
+"""Byte-size units and formatting helpers.
+
+The paper quotes limits and results in the binary units AWS documented in
+January 2009 (1 KB = 1024 bytes, 2 KB metadata, 8 KB messages, 5 GB
+objects). All limits in this library are expressed through these constants
+so the numbers in the code match the numbers in the paper's text.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+#: S3 limits (paper §2.1).
+S3_MAX_OBJECT_SIZE = 5 * GB
+S3_MIN_OBJECT_SIZE = 1
+S3_MAX_METADATA_SIZE = 2 * KB
+
+#: SimpleDB limits (paper §2.2).
+SDB_MAX_VALUE_SIZE = 1 * KB
+SDB_MAX_NAME_SIZE = 1 * KB
+SDB_MAX_ATTRS_PER_ITEM = 256
+SDB_MAX_ATTRS_PER_CALL = 100
+#: SimpleDB billed 45 bytes of indexing overhead per item name, per
+#: attribute name, and per attribute value (the 2009 pricing page) —
+#: the reason provenance costs noticeably more space in SimpleDB format
+#: than as raw S3 metadata (paper Table 2: 121.8 MB → 177.9 MB).
+SDB_BILLABLE_OVERHEAD_PER_ELEMENT = 45
+
+#: SQS limits (paper §2.3).
+SQS_MAX_MESSAGE_SIZE = 8 * KB
+SQS_MAX_RECEIVE_BATCH = 10
+SQS_RETENTION_SECONDS = 4 * 24 * 3600  # messages older than 4 days vanish
+
+SECONDS_PER_DAY = 24 * 3600
+SECONDS_PER_MONTH = 30 * SECONDS_PER_DAY
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count the way the paper does (e.g. ``121.8MB``).
+
+    >>> fmt_bytes(121.8 * MB)
+    '121.8MB'
+    >>> fmt_bytes(1.27 * GB)
+    '1.27GB'
+    >>> fmt_bytes(512)
+    '512B'
+    """
+    if n >= GB:
+        value, unit = n / GB, "GB"
+    elif n >= MB:
+        value, unit = n / MB, "MB"
+    elif n >= KB:
+        value, unit = n / KB, "KB"
+    else:
+        return f"{int(n)}B"
+    # The paper prints one decimal for MB/KB and two for GB.
+    digits = 2 if unit == "GB" else 1
+    return f"{value:.{digits}f}{unit}"
+
+
+def fmt_count(n: int) -> str:
+    """Render an operation count with thousands separators (``31,180``)."""
+    return f"{n:,}"
+
+
+def fmt_ratio(part: float, whole: float) -> str:
+    """Render ``part`` as a percentage of ``whole`` (``9.3%``)."""
+    if whole == 0:
+        return "n/a"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def fmt_factor(part: float, whole: float) -> str:
+    """Render ``part`` as a multiple of ``whole`` (``5.4x``)."""
+    if whole == 0:
+        return "n/a"
+    factor = part / whole
+    digits = 2 if factor < 1 or factor >= 7 else 1
+    return f"{factor:.{digits}f}x"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``'2KB'``, ``'1.27GB'``) into bytes.
+
+    >>> parse_size('2KB')
+    2048
+    >>> parse_size('512B')
+    512
+    """
+    text = text.strip().upper()
+    for suffix, mult in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * mult)
+    return int(text)

@@ -1,0 +1,223 @@
+"""The Linux-compile workload (paper §5).
+
+Models the provenance shape of building a kernel tree under PASS:
+
+* a tree of ``.c`` sources and shared ``.h`` headers is staged;
+* ``make`` drives per-translation-unit pipelines — a ``sh`` wrapper
+  spawns the classic ``cpp | cc1 | as`` pipeline (connected by pipes,
+  which PASS records as transient objects), reading the source plus a
+  subset of headers and writing the ``.o``. Each object file therefore
+  piggybacks several transient bundles, which is where the paper's
+  SimpleDB item counts (well above the object count) and its oversized
+  process records come from;
+* sources are grouped into **modules**; each build pass links a
+  ``built-in.o`` per module and finally links ``vmlinux`` from the
+  module objects — keeping every link's input list within SimpleDB's
+  256-attributes-per-item limit, exactly how real kernel builds nest
+  their links;
+* incremental rebuild passes: ``vi`` sessions rewrite a fraction of
+  sources (new file versions), the affected objects are recompiled, and
+  the affected modules and ``vmlinux`` are relinked — the version churn
+  behind the dataset's items-per-object ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.passlib.records import FlushEvent
+from repro.workloads import base
+
+#: Sources per module (bounds every link's provenance fan-in).
+MODULE_SIZE = 48
+
+
+class LinuxCompileWorkload(base.Workload):
+    """Synthetic kernel build with incremental rebuild passes."""
+
+    name = "linux-compile"
+
+    def __init__(
+        self,
+        n_sources: int = 160,
+        n_headers: int = 48,
+        rebuild_passes: int = 2,
+        rebuild_fraction: float = 0.30,
+        headers_per_source: tuple[int, int] = (3, 9),
+        source_median_bytes: int = 5_000,
+        vmlinux_median_bytes: int = 700_000,
+    ):
+        self.n_sources = n_sources
+        self.n_headers = n_headers
+        self.rebuild_passes = rebuild_passes
+        self.rebuild_fraction = rebuild_fraction
+        self.headers_per_source = headers_per_source
+        self.source_median_bytes = source_median_bytes
+        self.vmlinux_median_bytes = vmlinux_median_bytes
+
+    def iter_events(self, rng: random.Random, scale: float = 1.0) -> Iterator[FlushEvent]:
+        pas = base.make_system(self.name)
+        n_sources = max(2, int(self.n_sources * scale))
+        n_headers = max(1, int(self.n_headers * scale))
+
+        headers = [f"linux/include/h{i:04d}.h" for i in range(n_headers)]
+        sources = [f"linux/src/f{i:05d}.c" for i in range(n_sources)]
+        objects = [p.replace("/src/", "/obj/").replace(".c", ".o") for p in sources]
+        modules = [
+            list(range(start, min(start + MODULE_SIZE, n_sources)))
+            for start in range(0, n_sources, MODULE_SIZE)
+        ]
+
+        for path in headers:
+            pas.stage_input(path, base.content(rng, base.lognormal_size(rng, 2_600), path))
+            yield from pas.drain_flushes()
+        for path in sources:
+            pas.stage_input(
+                path, base.content(rng, base.lognormal_size(rng, self.source_median_bytes), path)
+            )
+            yield from pas.drain_flushes()
+        pas.stage_input("linux/Makefile", base.content(rng, 24_000, "makefile"))
+        yield from pas.drain_flushes()
+
+        yield from self._build_pass(
+            pas, rng, sources, objects, headers, modules, set(range(n_sources))
+        )
+        pas.trim_flushed()
+        for _ in range(self.rebuild_passes):
+            touched = set(
+                rng.sample(range(n_sources), max(1, int(n_sources * self.rebuild_fraction)))
+            )
+            yield from self._edit_sources(pas, rng, sources, sorted(touched))
+            yield from self._build_pass(
+                pas, rng, sources, objects, headers, modules, touched
+            )
+            pas.trim_flushed()
+
+    # -- build machinery ----------------------------------------------------
+
+    def _edit_sources(
+        self, pas, rng: random.Random, sources: list[str], touched: list[int]
+    ) -> Iterator[FlushEvent]:
+        """``vi`` sessions rewrite the touched sources (new versions)."""
+        for session_start in range(0, len(touched), 12):
+            session = touched[session_start : session_start + 12]
+            with pas.process(
+                "vi",
+                argv=" ".join(sources[i] for i in session[:3]) + " ...",
+                env=base.synth_env(rng, base.env_size(rng, big_fraction=0.10)),
+            ) as editor:
+                for index in session:
+                    path = sources[index]
+                    editor.read(path)
+                    editor.write(
+                        path,
+                        base.content(
+                            rng, base.lognormal_size(rng, self.source_median_bytes), path
+                        ),
+                    )
+                    editor.close(path)
+            yield from pas.drain_flushes()
+
+    def _compile_unit(
+        self, pas, rng: random.Random, source: str, obj: str, headers: list[str],
+        make_handle,
+    ) -> Iterator[FlushEvent]:
+        """sh → cpp | cc1 | as: the provenance-rich compile pipeline."""
+        lo, hi = self.headers_per_source
+        used_headers = rng.sample(headers, min(len(headers), rng.randint(lo, hi)))
+        env = base.synth_env(rng, base.env_size(rng))
+        with pas.process(
+            "sh", argv=f"-c 'cc -O2 -c {source} -o {obj}'", env=env, parent=make_handle
+        ) as sh:
+            sh.read("linux/Makefile")
+            pipe_cpp_cc1 = pas.make_pipe()
+            pipe_cc1_as = pas.make_pipe()
+            with pas.process(
+                "cpp", argv=f"-I linux/include {source}", env=env, parent=sh
+            ) as cpp:
+                cpp.read(source)
+                for header in used_headers:
+                    cpp.read(header)
+                cpp.write_pipe(pipe_cpp_cc1)
+            with pas.process(
+                "cc1",
+                argv=f"-O2 -Wall {' '.join('-D' + d for d in self._defines(rng))}",
+                env=env,
+                parent=sh,
+            ) as cc1:
+                cc1.read_pipe(pipe_cpp_cc1)
+                cc1.write_pipe(pipe_cc1_as)
+            with pas.process("as", argv=f"-o {obj}", env=env, parent=sh) as assembler:
+                assembler.read_pipe(pipe_cc1_as)
+                source_size = pas.cache.get_data(source).blob.size
+                assembler.write(obj, base.content(rng, int(source_size * 1.3), obj))
+                assembler.close(obj)
+        yield from pas.drain_flushes()
+
+    def _build_pass(
+        self,
+        pas,
+        rng: random.Random,
+        sources: list[str],
+        objects: list[str],
+        headers: list[str],
+        modules: list[list[int]],
+        touched: set[int],
+    ) -> Iterator[FlushEvent]:
+        env = base.synth_env(rng, base.env_size(rng))
+        make = pas.process("make", argv="-j8 vmlinux", env=env)
+        make.read("linux/Makefile")
+
+        touched_modules: list[int] = []
+        for module_index, members in enumerate(modules):
+            members_touched = [i for i in members if i in touched]
+            if not members_touched:
+                continue
+            touched_modules.append(module_index)
+            for index in members_touched:
+                yield from self._compile_unit(
+                    pas, rng, sources[index], objects[index], headers, make
+                )
+            # Link the module's built-in.o from all its member objects.
+            builtin = f"linux/obj/built-in{module_index:03d}.o"
+            with pas.process(
+                "ld",
+                argv=f"-r -o {builtin}",
+                env=base.synth_env(rng, base.env_size(rng)),
+                parent=make,
+            ) as ld:
+                total = 0
+                for index in members:
+                    if pas.has_file(objects[index]):
+                        ld.read(objects[index])
+                        total += pas.cache.get_data(objects[index]).blob.size
+                ld.write(builtin, base.content(rng, max(total, 1024), builtin))
+                ld.close(builtin)
+            yield from pas.drain_flushes()
+
+        # Final link: vmlinux from the module objects.
+        with pas.process(
+            "ld",
+            argv="-T linux/vmlinux.lds -o linux/vmlinux",
+            env=base.synth_env(rng, base.env_size(rng)),
+            parent=make,
+        ) as ld:
+            for module_index in range(len(modules)):
+                builtin = f"linux/obj/built-in{module_index:03d}.o"
+                if pas.has_file(builtin):
+                    ld.read(builtin)
+            ld.write(
+                "linux/vmlinux",
+                base.content(
+                    rng, base.lognormal_size(rng, self.vmlinux_median_bytes, 0.15), "vmlinux"
+                ),
+            )
+            ld.close("linux/vmlinux")
+        make.exit()
+        yield from pas.drain_flushes()
+
+    @staticmethod
+    def _defines(rng: random.Random) -> list[str]:
+        flags = ["CONFIG_SMP", "CONFIG_PCI", "CONFIG_NET", "CONFIG_EXT3", "CONFIG_USB"]
+        return rng.sample(flags, rng.randint(1, 3))

@@ -1,0 +1,131 @@
+"""The First Provenance Challenge workload (paper §5, citing [10]).
+
+The Provenance Challenge workflow [Moreau et al. 2008] is a published
+fMRI image-processing pipeline, which makes it the one workload we can
+reproduce structurally exactly:
+
+* inputs: four anatomy images (image + header pairs) and one reference
+  brain;
+* stage 1 — ``align_warp`` (×4): each anatomy image against the
+  reference, producing a warp-parameter file;
+* stage 2 — ``reslice`` (×4): each warp into a resliced image/header
+  pair;
+* stage 3 — ``softmean``: averages the four resliced images into the
+  atlas image/header;
+* stage 4 — ``slicer`` (×3): x/y/z atlas slices;
+* stage 5 — ``convert`` (×3): each slice into a graphic (GIF).
+
+One workflow instance stores 9 inputs + 4 warps + 8 resliced files +
+2 atlas files + 3 slices + 3 graphics = 29 objects and 15 process
+bundles — a deep, narrow DAG that exercises the ancestry queries (Q3)
+far more than the wide, shallow build workload does. ``n_workflows``
+scales the number of independent subjects processed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.passlib.records import FlushEvent
+from repro.workloads import base
+
+
+class ProvenanceChallengeWorkload(base.Workload):
+    """The fMRI workflow of the First Provenance Challenge."""
+
+    name = "provchallenge"
+
+    def __init__(self, n_workflows: int = 5):
+        self.n_workflows = n_workflows
+
+    def iter_events(self, rng: random.Random, scale: float = 1.0) -> Iterator[FlushEvent]:
+        pas = base.make_system(self.name)
+        n_workflows = max(1, int(self.n_workflows * scale))
+        reference = "fmri/reference/brain.img"
+        pas.stage_input(reference, base.content(rng, 360_000, reference))
+        pas.stage_input(
+            "fmri/reference/brain.hdr", base.content(rng, 348, "refhdr")
+        )
+        yield from pas.drain_flushes()
+
+        for subject in range(n_workflows):
+            yield from self._workflow(pas, rng, subject, reference)
+
+    def _workflow(
+        self, pas, rng: random.Random, subject: int, reference: str
+    ) -> Iterator[FlushEvent]:
+        prefix = f"fmri/s{subject:04d}"
+        env = lambda: base.synth_env(rng, base.env_size(rng, big_fraction=0.2))
+
+        anatomy_pairs = []
+        for i in range(1, 5):
+            img = f"{prefix}/anatomy{i}.img"
+            hdr = f"{prefix}/anatomy{i}.hdr"
+            pas.stage_input(img, base.content(rng, base.lognormal_size(rng, 280_000, 0.15), img))
+            pas.stage_input(hdr, base.content(rng, 348, hdr))
+            anatomy_pairs.append((img, hdr))
+        yield from pas.drain_flushes()
+
+        # Stage 1: align_warp each anatomy image against the reference.
+        warps = []
+        for i, (img, hdr) in enumerate(anatomy_pairs, start=1):
+            warp = f"{prefix}/warp{i}.warp"
+            with pas.process(
+                "align_warp", argv=f"{img} -R {reference} -o {warp} -m 12", env=env()
+            ) as aligner:
+                aligner.read(img)
+                aligner.read(hdr)
+                aligner.read(reference)
+                aligner.write(warp, base.content(rng, base.lognormal_size(rng, 70_000, 0.3), warp))
+                aligner.close(warp)
+            warps.append(warp)
+        yield from pas.drain_flushes()
+
+        # Stage 2: reslice each warp into an image/header pair.
+        resliced = []
+        for i, warp in enumerate(warps, start=1):
+            out_img = f"{prefix}/resliced{i}.img"
+            out_hdr = f"{prefix}/resliced{i}.hdr"
+            with pas.process("reslice", argv=f"{warp} {out_img}", env=env()) as reslicer:
+                reslicer.read(warp)
+                reslicer.write(out_img, base.content(rng, base.lognormal_size(rng, 280_000, 0.15), out_img))
+                reslicer.close(out_img)
+                reslicer.write(out_hdr, base.content(rng, 348, out_hdr))
+                reslicer.close(out_hdr)
+            resliced.append((out_img, out_hdr))
+        yield from pas.drain_flushes()
+
+        # Stage 3: softmean averages the resliced images into the atlas.
+        atlas_img = f"{prefix}/atlas.img"
+        atlas_hdr = f"{prefix}/atlas.hdr"
+        with pas.process(
+            "softmean", argv=f"{atlas_img} y null " + " ".join(i for i, _ in resliced), env=env()
+        ) as softmean:
+            for img, hdr in resliced:
+                softmean.read(img)
+                softmean.read(hdr)
+            softmean.write(atlas_img, base.content(rng, 420_000, atlas_img))
+            softmean.close(atlas_img)
+            softmean.write(atlas_hdr, base.content(rng, 348, atlas_hdr))
+            softmean.close(atlas_hdr)
+        yield from pas.drain_flushes()
+
+        # Stages 4-5: slice the atlas three ways, convert each to a GIF.
+        for axis in ("x", "y", "z"):
+            slice_path = f"{prefix}/atlas-{axis}.pgm"
+            with pas.process(
+                "slicer", argv=f"{atlas_img} -{axis} .5 {slice_path}", env=env()
+            ) as slicer:
+                slicer.read(atlas_img)
+                slicer.read(atlas_hdr)
+                slicer.write(slice_path, base.content(rng, base.lognormal_size(rng, 20_000, 0.2), slice_path))
+                slicer.close(slice_path)
+            graphic_path = f"{prefix}/atlas-{axis}.gif"
+            with pas.process(
+                "convert", argv=f"{slice_path} {graphic_path}", env=env()
+            ) as converter:
+                converter.read(slice_path)
+                converter.write(graphic_path, base.content(rng, base.lognormal_size(rng, 14_000, 0.2), graphic_path))
+                converter.close(graphic_path)
+            yield from pas.drain_flushes()

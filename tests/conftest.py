@@ -1,0 +1,65 @@
+"""Shared fixtures: accounts, architectures, and miniature traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aws.account import AWSAccount, ConsistencyConfig
+from repro.blob import BytesBlob
+from repro.core.base import RetryPolicy
+from repro.core.s3_simpledb import S3SimpleDB
+from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
+from repro.core.s3_standalone import S3Standalone
+from repro.passlib.capture import PassSystem
+
+
+@pytest.fixture
+def strong_account() -> AWSAccount:
+    """A cloud with instantaneous replication (no consistency races)."""
+    return AWSAccount(seed=1234, consistency=ConsistencyConfig.strong())
+
+
+@pytest.fixture
+def eventual_account() -> AWSAccount:
+    """The adversarial cloud: replica propagation up to 2 s."""
+    return AWSAccount(
+        seed=1234,
+        consistency=ConsistencyConfig.eventual(window=2.0, immediate_fraction=0.4),
+    )
+
+
+def make_architecture(name: str, account: AWSAccount, **kwargs):
+    factories = {
+        "s3": S3Standalone,
+        "s3+simpledb": S3SimpleDB,
+        "s3+simpledb+sqs": S3SimpleDBSQS,
+    }
+    retry = kwargs.pop(
+        "retry",
+        RetryPolicy(attempts=12, wait=lambda: account.clock.advance(0.5)),
+    )
+    store = factories[name](account, retry=retry, **kwargs)
+    store.provision()
+    return store
+
+
+@pytest.fixture(params=["s3", "s3+simpledb", "s3+simpledb+sqs"])
+def any_architecture(request, strong_account):
+    """Each architecture over a strongly consistent cloud."""
+    return make_architecture(request.param, strong_account)
+
+
+def tiny_trace():
+    """input.csv → analyze → out.csv: three flush events."""
+    pas = PassSystem(workload="tiny")
+    pas.stage_input("data/input.csv", BytesBlob(b"a,b\n1,2\n"))
+    with pas.process("analyze", argv="--fast") as proc:
+        proc.read("data/input.csv")
+        proc.write("data/out.csv", BytesBlob(b"sum\n3\n"))
+        proc.close("data/out.csv")
+    return pas.drain_flushes()
+
+
+@pytest.fixture
+def trace():
+    return tiny_trace()

@@ -1,0 +1,62 @@
+"""Integration: the measured Table 1 must equal the paper's Table 1.
+
+This is the headline correctness result — each architecture's property
+profile, derived experimentally from crash injection, consistency races,
+and live query measurement (see repro.core.properties).
+"""
+
+import pytest
+
+from repro.core.properties import (
+    PAPER_TABLE1,
+    check_atomicity,
+    check_causal_ordering,
+    check_consistency,
+    check_efficient_query,
+    evaluate_architecture,
+)
+
+ARCHITECTURES = sorted(PAPER_TABLE1)
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_full_row_matches_paper(architecture):
+    report = evaluate_architecture(architecture, seed=11)
+    assert report.matches_paper(), (
+        f"{architecture}: measured {report.as_row()[1:]} vs "
+        f"paper {PAPER_TABLE1[architecture]} — {report.details}"
+    )
+
+
+def test_a2_atomicity_violation_is_the_papers_scenario():
+    """The A2 failure must be the §4.2 crash: provenance before data."""
+    ok, detail = check_atomicity("s3+simpledb", seed=5)
+    assert not ok
+    assert "prov=True" in detail and "data=False" in detail
+
+
+def test_a3_read_correctness_restored():
+    ok_atomicity, _ = check_atomicity("s3+simpledb+sqs", seed=5)
+    ok_consistency, _ = check_consistency("s3+simpledb+sqs", seed=5)
+    assert ok_atomicity and ok_consistency
+
+
+def test_a1_query_inefficiency_quantified():
+    ok, detail = check_efficient_query("s3", seed=5)
+    assert not ok
+    assert "ops" in detail
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_causal_ordering_universal(architecture):
+    ok, _ = check_causal_ordering(architecture, seed=9)
+    assert ok
+
+
+def test_read_correctness_composite():
+    reports = {
+        name: evaluate_architecture(name, seed=13) for name in ARCHITECTURES
+    }
+    assert reports["s3"].read_correctness
+    assert not reports["s3+simpledb"].read_correctness
+    assert reports["s3+simpledb+sqs"].read_correctness

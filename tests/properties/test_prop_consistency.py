@@ -1,0 +1,87 @@
+"""Property tests: the eventual-consistency engine converges correctly."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aws.consistency import DelayModel, ReplicaSet
+from repro.clock import SimClock
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=3)
+ops = st.lists(
+    st.tuples(st.sampled_from(["write", "delete"]), keys, st.integers(0, 99)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops, seed=st.integers(0, 10_000), window=st.floats(0.0, 5.0))
+def test_quiesced_replicas_equal_sequential_model(ops, seed, window):
+    """After quiescing, every replica equals a plain-dict replay."""
+    clock = SimClock()
+    replicas = ReplicaSet(
+        "prop",
+        clock,
+        random.Random(seed),
+        n_replicas=3,
+        delays=DelayModel(max_delay=window, immediate_fraction=0.3),
+    )
+    model: dict[str, int] = {}
+    for op, key, value in ops:
+        if op == "write":
+            replicas.write(key, value)
+            model[key] = value
+        else:
+            replicas.delete(key)
+            model.pop(key, None)
+    clock.run_until_idle()
+    assert replicas.is_converged()
+    assert dict(replicas.authoritative_items()) == model
+    for key, value in model.items():
+        assert replicas.read(key) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops, seed=st.integers(0, 10_000))
+def test_reads_never_invent_values(ops, seed):
+    """A read returns something that was written for that key (or None):
+    eventual consistency serves stale values, never foreign ones."""
+    clock = SimClock()
+    replicas = ReplicaSet(
+        "prop",
+        clock,
+        random.Random(seed),
+        n_replicas=3,
+        delays=DelayModel(max_delay=3.0, immediate_fraction=0.2),
+    )
+    written: dict[str, set[int]] = {}
+    for op, key, value in ops:
+        if op == "write":
+            replicas.write(key, value)
+            written.setdefault(key, set()).add(value)
+        else:
+            replicas.delete(key)
+        observed = replicas.read(key)
+        assert observed is None or observed in written.get(key, set())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 99), min_size=2, max_size=10),
+    seed=st.integers(0, 10_000),
+)
+def test_last_writer_wins_always(values, seed):
+    """Whatever the propagation delays, convergence picks the last write."""
+    clock = SimClock()
+    replicas = ReplicaSet(
+        "prop",
+        clock,
+        random.Random(seed),
+        n_replicas=4,
+        delays=DelayModel(max_delay=10.0),
+    )
+    for value in values:
+        replicas.write("k", value)
+    clock.run_until_idle()
+    assert replicas.read("k") == values[-1]

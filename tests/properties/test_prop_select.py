@@ -1,0 +1,121 @@
+"""Property tests: the SELECT front-end agrees with the bracket Query
+language (two spellings, one semantics)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aws.sdb_query import parse_query, parse_select, run_query
+
+attr_names = st.sampled_from(["type", "name", "ver"])
+attr_values = st.text(alphabet="abc12", min_size=1, max_size=4)
+
+items_strategy = st.dictionaries(
+    keys=st.text(alphabet="wxyz", min_size=1, max_size=4),
+    values=st.dictionaries(
+        keys=attr_names,
+        values=st.lists(attr_values, min_size=1, max_size=3).map(tuple),
+        min_size=0,
+        max_size=3,
+    ),
+    min_size=0,
+    max_size=10,
+).map(lambda d: sorted(d.items()))
+
+
+def bracket_names(items, expression):
+    return [n for n, _ in run_query(items, parse_query(expression))]
+
+
+def select_names(items, statement):
+    return [n for n, _ in run_query(items, parse_select(statement).query)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(items=items_strategy, attribute=attr_names, value=attr_values)
+def test_equality_agrees(items, attribute, value):
+    assert bracket_names(items, f"['{attribute}' = '{value}']") == select_names(
+        items, f"select * from d where {attribute} = '{value}'"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    items=items_strategy,
+    a1=attr_names,
+    v1=attr_values,
+    a2=attr_names,
+    v2=attr_values,
+)
+def test_intersection_is_and(items, a1, v1, a2, v2):
+    bracket = f"['{a1}' = '{v1}'] intersection ['{a2}' = '{v2}']"
+    select = f"select * from d where {a1} = '{v1}' and {a2} = '{v2}'"
+    assert bracket_names(items, bracket) == select_names(items, select)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    items=items_strategy,
+    attribute=attr_names,
+    v1=attr_values,
+    v2=attr_values,
+)
+def test_or_within_predicate_is_in_list(items, attribute, v1, v2):
+    bracket = f"['{attribute}' = '{v1}' or '{attribute}' = '{v2}']"
+    select = f"select * from d where {attribute} in ('{v1}', '{v2}')"
+    assert bracket_names(items, bracket) == select_names(items, select)
+
+
+@settings(max_examples=80, deadline=None)
+@given(items=items_strategy, attribute=attr_names, value=attr_values)
+def test_not_agrees(items, attribute, value):
+    bracket = f"not ['{attribute}' = '{value}']"
+    select = f"select * from d where not {attribute} = '{value}'"
+    assert bracket_names(items, bracket) == select_names(items, select)
+
+
+single_valued_items = st.dictionaries(
+    keys=st.text(alphabet="wxyz", min_size=1, max_size=4),
+    values=st.dictionaries(
+        keys=attr_names,
+        values=attr_values.map(lambda v: (v,)),
+        min_size=0,
+        max_size=3,
+    ),
+    min_size=0,
+    max_size=10,
+).map(lambda d: sorted(d.items()))
+
+
+@settings(max_examples=80, deadline=None)
+@given(items=single_valued_items, attribute=attr_names, lo=attr_values, hi=attr_values)
+def test_range_is_between_single_valued(items, attribute, lo, hi):
+    """On single-valued attributes, BETWEEN equals the bracket range.
+
+    The languages genuinely diverge on multi-valued attributes — see
+    ``test_between_diverges_on_multivalues`` — matching real SimpleDB:
+    a bracket's intra-predicate AND binds one attribute *value*, while
+    SELECT comparisons each match independently.
+    """
+    if lo > hi:
+        lo, hi = hi, lo
+    bracket = f"['{attribute}' >= '{lo}' and '{attribute}' <= '{hi}']"
+    select = f"select * from d where {attribute} between '{lo}' and '{hi}'"
+    assert bracket_names(items, bracket) == select_names(items, select)
+
+
+def test_between_diverges_on_multivalues():
+    """Documented divergence: values {a, z} are 'between b and y' under
+    SELECT (a distinct value satisfies each bound) but never match the
+    bracket range (no single value is inside)."""
+    items = [("w", {"ver": ("a", "z")})]
+    bracket = "['ver' >= 'b' and 'ver' <= 'y']"
+    select = "select * from d where ver between 'b' and 'y'"
+    assert bracket_names(items, bracket) == []
+    assert select_names(items, select) == ["w"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=items_strategy, attribute=attr_names, prefix=attr_values)
+def test_starts_with_is_like(items, attribute, prefix):
+    bracket = f"['{attribute}' starts-with '{prefix}']"
+    select = f"select * from d where {attribute} like '{prefix}%'"
+    assert bracket_names(items, bracket) == select_names(items, select)

@@ -1,0 +1,86 @@
+"""Property tests: PASS versioning keeps provenance acyclic, always."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.provgraph import ProvenanceGraph
+from repro.passlib.capture import PassSystem
+
+#: A random workload program: each step is (process index, action, file index).
+steps = st.lists(
+    st.tuples(
+        st.integers(0, 3),                       # which process
+        st.sampled_from(["read", "write", "close"]),
+        st.integers(0, 4),                       # which file
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def run_program(program) -> PassSystem:
+    pas = PassSystem(workload="prop")
+    handles = [pas.process(f"p{i}") for i in range(4)]
+    written: set[str] = set()
+    for process_index, action, file_index in program:
+        handle = handles[process_index]
+        path = f"f{file_index}"
+        if action == "read":
+            handle.read(path)
+        elif action == "write":
+            handle.write(path, f"{process_index}:{file_index}".encode())
+            written.add(path)
+        elif path in written:
+            handle.close(path)
+    return pas
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=steps)
+def test_version_graph_always_acyclic(program):
+    pas = run_program(program)
+    pas.drain_flushes()
+    assert pas.versions.is_acyclic()
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=steps)
+def test_flush_events_form_dag_with_causal_order(program):
+    pas = run_program(program)
+    events = pas.drain_flushes()
+    graph = ProvenanceGraph.from_events(events)
+    assert graph.is_acyclic()
+    # Causal order: every referenced bundle subject appears no later
+    # than its referrer in the flush stream.
+    seen = set()
+    for event in events:
+        for bundle in event.all_bundles():
+            for parent in bundle.inputs():
+                assert parent in seen or parent.name == bundle.subject.name
+            seen.add(bundle.subject)
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=steps)
+def test_versions_monotone_per_object(program):
+    pas = run_program(program)
+    events = pas.drain_flushes()
+    last_version: dict[str, int] = {}
+    for event in events:
+        name = event.subject.name
+        version = event.subject.version
+        assert version > last_version.get(name, 0), (
+            f"{name} flushed version {version} after {last_version.get(name)}"
+        )
+        last_version[name] = version
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=steps)
+def test_no_bundle_exceeds_simpledb_item_limit(program):
+    from repro.units import SDB_MAX_ATTRS_PER_ITEM
+
+    pas = run_program(program)
+    for event in pas.drain_flushes():
+        for bundle in event.all_bundles():
+            # +2 for the md5/nonce consistency attributes on file items.
+            assert len(bundle) + 2 <= SDB_MAX_ATTRS_PER_ITEM

@@ -1,0 +1,106 @@
+"""Unit tests for the account facade and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.aws.account import AWSAccount, ConsistencyConfig
+
+
+class TestConsistencyConfig:
+    def test_strong_profile(self):
+        config = ConsistencyConfig.strong()
+        assert config.window == 0.0
+        assert config.delay_model().is_strong
+        assert config.sqs_sample_fraction == 1.0
+
+    def test_eventual_profile(self):
+        config = ConsistencyConfig.eventual(window=3.0)
+        model = config.delay_model()
+        assert not model.is_strong
+        assert model.max_delay == 3.0
+
+
+class TestAWSAccount:
+    def test_services_share_clock_and_meter(self):
+        account = AWSAccount(seed=1)
+        account.s3.create_bucket("b")
+        account.s3.put("b", "k", b"x")
+        url = account.sqs.create_queue("q")
+        account.sqs.send_message(url, "m")
+        account.simpledb.create_domain("d")
+        usage = account.meter.snapshot()
+        assert usage.request_count("s3") >= 2
+        assert usage.request_count("sqs") >= 2
+        assert usage.request_count("simpledb") >= 1
+
+    def test_same_seed_same_behaviour(self):
+        def run(seed):
+            account = AWSAccount(
+                seed=seed, consistency=ConsistencyConfig.eventual(window=2.0)
+            )
+            account.s3.create_bucket("b")
+            account.s3.put("b", "k", b"x")
+            observations = []
+            for _ in range(10):
+                try:
+                    account.s3.get("b", "k")
+                    observations.append(True)
+                except errors.NoSuchKey:
+                    observations.append(False)
+            return observations
+
+        assert run(7) == run(7)
+        # Different seeds give independent replica behaviour eventually.
+        trials = {tuple(run(seed)) for seed in range(6)}
+        assert len(trials) > 1
+
+    def test_quiesce_converges(self):
+        account = AWSAccount(
+            seed=2, consistency=ConsistencyConfig.eventual(window=5.0)
+        )
+        account.s3.create_bucket("b")
+        for i in range(10):
+            account.s3.put("b", f"k{i}", b"x")
+        account.quiesce()
+        for i in range(10):
+            assert account.s3.get("b", f"k{i}").bytes() == b"x"
+
+    def test_bill_renders_total(self):
+        account = AWSAccount(seed=3)
+        account.s3.create_bucket("b")
+        assert "TOTAL" in account.bill()
+
+
+class TestErrorHierarchy:
+    def test_aws_errors_are_repro_errors(self):
+        for exc_type in (
+            errors.NoSuchKey,
+            errors.NoSuchDomain,
+            errors.MessageTooLong,
+            errors.ServiceUnavailable,
+        ):
+            assert issubclass(exc_type, errors.AWSError)
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_client_crash_not_an_aws_error(self):
+        # Crashes are client-side events; catching AWSError must not
+        # accidentally swallow them.
+        assert not issubclass(errors.ClientCrash, errors.AWSError)
+        crash = errors.ClientCrash("some.point")
+        assert crash.point == "some.point"
+
+    def test_architecture_errors(self):
+        for exc_type in (
+            errors.ReadCorrectnessViolation,
+            errors.OrphanProvenance,
+            errors.TransactionAborted,
+        ):
+            assert issubclass(exc_type, errors.ArchitectureError)
+
+    def test_error_codes_mirror_aws(self):
+        assert errors.NoSuchKey.code == "NoSuchKey"
+        assert errors.NoSuchQueue.code.startswith("AWS.SimpleQueueService")
+
+    def test_pass_errors(self):
+        for exc_type in (errors.UnknownObject, errors.ObjectClosed, errors.CacheMiss):
+            assert issubclass(exc_type, errors.PassError)

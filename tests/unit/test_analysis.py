@@ -1,0 +1,146 @@
+"""Unit tests for the §5 analysis models (Tables 2 and 3) and USD costs."""
+
+import pytest
+
+from repro.analysis.cost import architecture_monthly_cost, render_cost_table
+from repro.analysis.query_model import (
+    PAPER_TABLE3,
+    analytic_query_table,
+    render_table3,
+)
+from repro.analysis.query_model import shape_check as query_shape_check
+from repro.analysis.report import TextTable
+from repro.analysis.storage_model import (
+    PAPER_TABLE2,
+    paper_formula_a3_ops,
+    render_table2,
+    storage_table,
+)
+from repro.analysis.storage_model import shape_check as storage_shape_check
+from repro.workloads import CombinedWorkload, collect_stats
+
+
+@pytest.fixture(scope="module")
+def stats():
+    import random
+
+    return collect_stats(
+        CombinedWorkload().iter_events(random.Random("analysis"), 0.4)
+    )
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["a", "bbb"])
+        table.add_row("x", 1234)
+        text = table.render()
+        assert "1,234" in text
+        assert text.splitlines()[0].startswith("a")
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_bool_formatting(self):
+        table = TextTable(["p"])
+        table.add_row(True)
+        table.add_row(False)
+        assert "yes" in table.render() and "no" in table.render()
+
+
+class TestStorageModel:
+    def test_raw_row_is_baseline(self, stats):
+        rows = storage_table(stats)
+        assert rows["raw"].prov_bytes == stats.raw_bytes
+        assert rows["raw"].ops == stats.n_objects
+
+    def test_a1_ops_are_overflow_puts(self, stats):
+        rows = storage_table(stats)
+        assert rows["s3"].ops == stats.n_records_gt_1kb
+
+    def test_a2_formula(self, stats):
+        rows = storage_table(stats)
+        assert rows["s3+simpledb"].ops == stats.n_sdb_items + stats.n_records_gt_1kb
+
+    def test_a3_storage_formula(self, stats):
+        """§5: 2·S_SQS + S_SimpleDB."""
+        rows = storage_table(stats)
+        assert rows["s3+simpledb+sqs"].prov_bytes == (
+            2 * stats.wal_prov_bytes + stats.sdb_prov_bytes
+        )
+
+    def test_paper_formula_below_protocol_count(self, stats):
+        """The paper's formula omits begin/data/commit records."""
+        rows = storage_table(stats)
+        assert paper_formula_a3_ops(stats) < rows["s3+simpledb+sqs"].ops
+
+    def test_shape_reproduces(self, stats):
+        assert storage_shape_check(stats) == []
+
+    def test_render_includes_paper_numbers(self, stats):
+        text = render_table2(stats)
+        assert "121.8MB" in text
+        assert "31,180" in text
+        assert "Table 2" in text
+
+    def test_paper_constants(self):
+        assert PAPER_TABLE2["raw"]["ops"] == 31_180
+        assert PAPER_TABLE2["s3+simpledb+sqs"]["ops"] == 231_287
+
+
+class TestQueryModel:
+    def test_s3_column_matches_paper_formula(self, stats):
+        rows = analytic_query_table(stats)
+        for row in rows:
+            # §5: 56,132 = 31,180 HEAD + 24,952 GET — same formula here.
+            assert row.s3_ops == stats.n_objects + stats.n_records_gt_1kb
+            assert row.s3_bytes == stats.s3_prov_bytes
+
+    def test_shape_reproduces(self, stats):
+        # Scale-proportional bar: the 100x paper factor applies at paper
+        # scale; this miniature repository supports ~20x.
+        assert query_shape_check(analytic_query_table(stats), min_factor=20) == []
+
+    def test_render(self, stats):
+        text = render_table3(analytic_query_table(stats))
+        assert "Q1" in text and "56,132" in text
+
+    def test_paper_constants(self):
+        assert PAPER_TABLE3["Q2"]["sdb_ops"] == 6
+        assert PAPER_TABLE3["Q3"]["sdb_ops"] == 31
+
+
+class TestCostModel:
+    def test_unit_economics_ops_cheaper_than_storage(self):
+        """§5: 'operations are much cheaper (in USD) than storage in the
+        AWS pricing model' — at the unit-price level: a thousand
+        operations cost less than a GB-month on every service."""
+        from repro.aws.billing import PriceBook
+
+        prices = PriceBook()
+        assert prices.s3_put_class_per_1000 < prices.s3_storage_gb_month
+        assert prices.sqs_per_10000_requests < prices.sdb_storage_gb_month
+        assert prices.s3_get_class_per_10000 < prices.s3_storage_gb_month
+
+    def test_provenance_ops_bill_below_year_of_storage(self, stats):
+        """Dataset-level: A3's one-time op bill is small next to keeping
+        the dataset + provenance for a year."""
+        costs = architecture_monthly_cost(stats)
+        full = costs["s3+simpledb+sqs"]
+        year_of_storage = 12 * (
+            full.storage_usd_month + costs["raw"].storage_usd_month
+        )
+        assert full.operations_usd < year_of_storage
+
+    def test_ordering_by_architecture(self, stats):
+        costs = architecture_monthly_cost(stats)
+        assert (
+            costs["s3"].storage_usd_month
+            < costs["s3+simpledb"].storage_usd_month
+        )
+
+    def test_render(self, stats):
+        text = render_cost_table(stats)
+        assert "s3+simpledb+sqs" in text
+        assert "$" not in text.splitlines()[0]  # header clean

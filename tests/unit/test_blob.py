@@ -1,0 +1,88 @@
+"""Unit tests for real and synthetic blobs."""
+
+import pytest
+
+from repro.blob import Blob, BytesBlob, SyntheticBlob, as_blob
+
+
+class TestBytesBlob:
+    def test_size_and_read(self):
+        blob = BytesBlob(b"hello world")
+        assert blob.size == 11
+        assert blob.read() == b"hello world"
+        assert blob.read(0, 5) == b"hello"
+        assert blob.read(6) == b"world"
+
+    def test_md5_matches_hashlib(self):
+        import hashlib
+
+        data = b"some content"
+        assert BytesBlob(data).md5() == hashlib.md5(data).hexdigest()
+
+    def test_str_coerced_to_utf8(self):
+        assert BytesBlob("héllo").size == len("héllo".encode("utf-8"))
+
+    def test_invalid_range_rejected(self):
+        blob = BytesBlob(b"abc")
+        with pytest.raises(ValueError):
+            blob.read(2, 10)
+        with pytest.raises(ValueError):
+            blob.read(-1)
+
+    def test_equality_by_content(self):
+        assert BytesBlob(b"same") == BytesBlob(b"same")
+        assert BytesBlob(b"one") != BytesBlob(b"two")
+
+
+class TestSyntheticBlob:
+    def test_size_without_materialisation(self):
+        blob = SyntheticBlob("seed", 5 * 1024**3)  # 5 GB costs nothing
+        assert blob.size == 5 * 1024**3
+
+    def test_md5_is_o1_and_deterministic(self):
+        a = SyntheticBlob("seed", 10**9)
+        b = SyntheticBlob("seed", 10**9)
+        assert a.md5() == b.md5()
+
+    def test_md5_distinguishes_seed_and_size(self):
+        base = SyntheticBlob("seed", 1000)
+        assert base.md5() != SyntheticBlob("other", 1000).md5()
+        assert base.md5() != SyntheticBlob("seed", 1001).md5()
+
+    def test_read_deterministic(self):
+        blob = SyntheticBlob("x", 1000)
+        assert blob.read(100, 200) == blob.read(100, 200)
+        assert len(blob.read(100, 200)) == 100
+
+    def test_read_consistent_across_ranges(self):
+        blob = SyntheticBlob("x", 256)
+        full = blob.read()
+        assert blob.read(10, 50) == full[10:50]
+        assert blob.read(0, 1) == full[:1]
+        assert blob.read(255, 256) == full[255:]
+
+    def test_empty_read(self):
+        assert SyntheticBlob("x", 10).read(5, 5) == b""
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticBlob("x", -1)
+
+    def test_same_identity_equal_bytes(self):
+        # Models "file overwritten with the same data" (§4.2).
+        assert SyntheticBlob("s", 64).read() == SyntheticBlob("s", 64).read()
+
+
+class TestAsBlob:
+    def test_passthrough(self):
+        blob = BytesBlob(b"x")
+        assert as_blob(blob) is blob
+
+    def test_coercions(self):
+        assert as_blob(b"abc").read() == b"abc"
+        assert as_blob("abc").read() == b"abc"
+
+    def test_synthetic_passthrough(self):
+        blob = SyntheticBlob("s", 10)
+        assert as_blob(blob) is blob
+        assert isinstance(as_blob(blob), Blob)

@@ -1,0 +1,82 @@
+"""Unit tests for the client's local cache."""
+
+import pytest
+
+from repro.blob import BytesBlob
+from repro.errors import CacheMiss
+from repro.passlib.cache import LocalCache
+from repro.passlib.records import ObjectRef, ProvenanceBundle
+
+
+def bundle_for(name: str, version: int = 1) -> ProvenanceBundle:
+    return ProvenanceBundle(
+        subject=ObjectRef(name, version), kind="file", records=()
+    )
+
+
+class TestDataSide:
+    def test_put_get(self):
+        cache = LocalCache()
+        cache.put_data("f", BytesBlob(b"x"), version=1)
+        entry = cache.get_data("f")
+        assert entry.blob.read() == b"x"
+        assert entry.version == 1
+        assert entry.dirty
+
+    def test_miss_raises_and_counts(self):
+        cache = LocalCache()
+        with pytest.raises(CacheMiss):
+            cache.get_data("ghost")
+        assert cache.misses == 1
+
+    def test_dirty_tracking(self):
+        cache = LocalCache()
+        cache.put_data("a", BytesBlob(b"1"), 1)
+        cache.put_data("b", BytesBlob(b"2"), 1)
+        cache.mark_clean("a")
+        assert cache.dirty_paths() == ["b"]
+
+    def test_evict_drops_data_only(self):
+        cache = LocalCache()
+        cache.put_data("f", BytesBlob(b"x"), 1)
+        cache.put_provenance(bundle_for("f"))
+        cache.evict("f")
+        assert not cache.has_data("f")
+        assert cache.has_provenance(ObjectRef("f", 1))
+
+
+class TestProvenanceSide:
+    def test_put_get(self):
+        cache = LocalCache()
+        cache.put_provenance(bundle_for("f", 2))
+        assert cache.get_provenance(ObjectRef("f", 2)).subject.version == 2
+
+    def test_versions_distinct(self):
+        cache = LocalCache()
+        cache.put_provenance(bundle_for("f", 1))
+        cache.put_provenance(bundle_for("f", 2))
+        assert len(cache.provenance_refs()) == 2
+
+    def test_clear_provenance(self):
+        cache = LocalCache()
+        cache.put_provenance(bundle_for("f", 1))
+        assert cache.clear_provenance() == 1
+        with pytest.raises(CacheMiss):
+            cache.get_provenance(ObjectRef("f", 1))
+
+
+class TestLifecycle:
+    def test_clear_models_host_loss(self):
+        cache = LocalCache()
+        cache.put_data("f", BytesBlob(b"x"), 1)
+        cache.put_provenance(bundle_for("f"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.provenance_refs() == []
+
+    def test_hit_counters(self):
+        cache = LocalCache()
+        cache.put_data("f", BytesBlob(b"x"), 1)
+        cache.get_data("f")
+        cache.get_data("f")
+        assert cache.hits == 2

@@ -1,0 +1,126 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.clock import SimClock, Stopwatch, ticks
+
+
+class TestSimClock:
+    def test_starts_at_epoch(self):
+        assert SimClock().now == 0.0
+        assert SimClock(epoch=100.0).now == 100.0
+
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+        clock.advance(0.5)
+        assert clock.now == 3.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_rejects_past(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(3.0)
+
+    def test_events_fire_in_deadline_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(3.0, lambda: fired.append("c"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_at(2.0, lambda: fired.append("b"))
+        clock.advance(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_events_beyond_horizon_do_not_fire(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(10.0, lambda: fired.append("late"))
+        clock.advance(5.0)
+        assert fired == []
+        assert clock.pending_events == 1
+
+    def test_call_after_is_relative(self):
+        clock = SimClock()
+        clock.advance(7.0)
+        fired = []
+        clock.call_after(1.0, lambda: fired.append(clock.now))
+        clock.advance(2.0)
+        assert fired == [8.0]
+
+    def test_call_after_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            SimClock().call_after(-0.1, lambda: None)
+
+    def test_same_deadline_fires_in_schedule_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append("first"))
+        clock.call_at(1.0, lambda: fired.append("second"))
+        clock.advance(1.0)
+        assert fired == ["first", "second"]
+
+    def test_callback_may_schedule_more_events(self):
+        clock = SimClock()
+        fired = []
+
+        def chain():
+            fired.append("outer")
+            clock.call_at(clock.now + 0.5, lambda: fired.append("inner"))
+
+        clock.call_at(1.0, chain)
+        clock.advance(2.0)
+        assert fired == ["outer", "inner"]
+
+    def test_run_until_idle_fires_everything(self):
+        clock = SimClock()
+        fired = []
+        for i in range(5):
+            clock.call_at(float(i), lambda i=i: fired.append(i))
+        clock.run_until_idle()
+        assert fired == [0, 1, 2, 3, 4]
+        assert clock.pending_events == 0
+
+    def test_run_until_idle_respects_horizon(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(1))
+        clock.call_at(10.0, lambda: fired.append(10))
+        clock.run_until_idle(horizon=5.0)
+        assert fired == [1]
+        assert clock.now == 5.0
+
+    def test_past_deadline_fires_on_zero_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(0.0, lambda: fired.append("now"))
+        clock.advance(0.0)
+        assert fired == ["now"]
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        assert watch.elapsed == 3.0
+
+    def test_restart_resets(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(2.0)
+        assert watch.restart() == 2.0
+        clock.advance(1.0)
+        assert watch.elapsed == 1.0
+
+
+class TestTicks:
+    def test_yields_times(self):
+        clock = SimClock()
+        times = list(ticks(clock, step=1.5, count=3))
+        assert times == [1.5, 3.0, 4.5]
+        assert clock.now == 4.5

@@ -1,0 +1,131 @@
+"""Unit tests for the commit daemon and cleaner daemon."""
+
+import pytest
+
+from repro.aws.faults import FaultPlan
+from repro.core.base import DATA_BUCKET, PROV_DOMAIN
+from repro.errors import ClientCrash
+from repro.passlib.capture import PassSystem
+from repro.units import SECONDS_PER_DAY
+from tests.conftest import make_architecture, tiny_trace
+
+
+@pytest.fixture
+def a3(strong_account):
+    return make_architecture(
+        "s3+simpledb+sqs", strong_account, commit_threshold=100
+    )
+
+
+class TestCommitDaemonTrigger:
+    def test_below_threshold_no_commit(self, a3, strong_account, trace):
+        # threshold=100: the daemon's monitor tick should not fire.
+        a3.store_trace(trace)
+        assert not strong_account.s3.exists_authoritative(
+            DATA_BUCKET, trace[-1].subject.name
+        )
+
+    def test_force_commits_regardless(self, a3, strong_account, trace):
+        a3.store_trace(trace)
+        applied = a3.commit_daemon.run_once(force=True)
+        assert applied == len(trace)
+        assert strong_account.s3.exists_authoritative(
+            DATA_BUCKET, trace[-1].subject.name
+        )
+
+    def test_threshold_triggers(self, strong_account):
+        store = make_architecture(
+            "s3+simpledb+sqs", strong_account, commit_threshold=2
+        )
+        store.store_trace(tiny_trace())
+        # With a tiny threshold the in-store monitor tick already ran.
+        assert store.commit_daemon.stats.transactions_applied >= 1
+
+
+class TestCommitDaemonIdempotency:
+    def test_daemon_crash_mid_apply_then_replay(self, strong_account, trace):
+        daemon_plan = FaultPlan().crash_at("daemon.apply.after_copy")
+        store = make_architecture(
+            "s3+simpledb+sqs",
+            strong_account,
+            commit_threshold=100,
+            daemon_faults=daemon_plan,
+        )
+        store.store_trace(trace)
+        with pytest.raises(ClientCrash):
+            store.commit_daemon.drain()
+        # Visibility timeout expires; a fresh daemon replays idempotently.
+        strong_account.clock.advance(200.0)
+        fresh = store.restart_commit_daemon()
+        applied = fresh.drain()
+        assert applied >= 1
+        result = store.read(trace[-1].subject.name)
+        assert result.consistent
+        assert strong_account.sqs.exact_message_count(store.queue_url) == 0
+
+    def test_crash_between_prov_and_message_delete(self, strong_account, trace):
+        daemon_plan = FaultPlan().crash_at("daemon.apply.after_put_attributes")
+        store = make_architecture(
+            "s3+simpledb+sqs",
+            strong_account,
+            commit_threshold=100,
+            daemon_faults=daemon_plan,
+        )
+        store.store_trace(trace)
+        with pytest.raises(ClientCrash):
+            store.commit_daemon.drain()
+        strong_account.clock.advance(200.0)
+        store.restart_commit_daemon().drain()
+        # Replay stored provenance again without error (idempotency §4.3).
+        item = strong_account.simpledb.authoritative_item(
+            PROV_DOMAIN, trace[-1].subject.item_name
+        )
+        assert item is not None
+        result = store.read(trace[-1].subject.name)
+        assert result.consistent
+
+    def test_double_drain_harmless(self, a3, strong_account, trace):
+        a3.store_trace(trace)
+        a3.commit_daemon.drain()
+        before = strong_account.meter.snapshot()
+        a3.commit_daemon.drain()
+        delta = strong_account.meter.snapshot() - before
+        assert delta.request_count("s3", "COPY") == 0  # nothing to redo
+
+
+class TestCleanerDaemon:
+    def test_removes_only_old_temp_objects(self, strong_account, trace):
+        plan = FaultPlan().crash_at("a3.log.before_commit")
+        store = make_architecture(
+            "s3+simpledb+sqs",
+            strong_account,
+            faults=plan,
+            commit_threshold=100,
+        )
+        with pytest.raises(ClientCrash):
+            store.store(trace[-1])  # abandoned temp object
+        plan.disarm()
+        # A fresh temp object from a live transaction must survive.
+        strong_account.clock.advance(4 * SECONDS_PER_DAY + 1)
+        store.store(tiny_trace()[-1])
+        removed = store.cleaner_daemon.run_once()
+        assert len(removed) == 1
+        assert removed[0].startswith(".pass/tmp/")
+        keys = strong_account.s3.authoritative_keys(DATA_BUCKET)
+        fresh_temps = [k for k in keys if k.startswith(".pass/tmp/")]
+        assert len(fresh_temps) == 1  # the live transaction's temp object
+
+    def test_noop_when_nothing_old(self, a3, strong_account, trace):
+        a3.store_trace(trace)
+        assert a3.cleaner_daemon.run_once() == []
+
+    def test_stats(self, strong_account, trace):
+        plan = FaultPlan().crash_at("a3.log.before_commit")
+        store = make_architecture(
+            "s3+simpledb+sqs", strong_account, faults=plan, commit_threshold=100
+        )
+        with pytest.raises(ClientCrash):
+            store.store(trace[-1])
+        strong_account.clock.advance(5 * SECONDS_PER_DAY)
+        store.cleaner_daemon.run_once()
+        assert store.cleaner_daemon.stats.objects_removed == 1

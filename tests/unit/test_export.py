@@ -1,0 +1,101 @@
+"""Unit tests for PROV-JSON and lineage-DOT export."""
+
+import json
+
+import pytest
+
+from repro.graph.export import lineage_dot, prov_json_dumps, to_prov_json
+from repro.passlib.capture import PassSystem
+from repro.passlib.records import ObjectRef
+
+
+@pytest.fixture
+def bundles():
+    pas = PassSystem(workload="export")
+    pas.stage_input("in/data.csv", b"rows")
+    with pas.process("transform", argv="--normalise") as proc:
+        proc.read("in/data.csv")
+        proc.write("out/clean.csv", b"rows2")
+        proc.close("out/clean.csv")
+    with pas.process("rewrite") as proc:
+        proc.write("out/clean.csv", b"rows3")
+        proc.close("out/clean.csv")
+    return [b for e in pas.drain_flushes() for b in e.all_bundles()]
+
+
+class TestProvJson:
+    def test_entities_and_activities_partitioned(self, bundles):
+        document = to_prov_json(bundles)
+        assert any("in/data.csv" in key for key in document["entity"])
+        assert any("proc/transform" in key for key in document["activity"])
+        assert not any("proc/" in key for key in document["entity"])
+
+    def test_used_and_generated_relations(self, bundles):
+        document = to_prov_json(bundles)
+        used_pairs = {
+            (rel["prov:activity"], rel["prov:entity"])
+            for rel in document["used"].values()
+        }
+        assert any(
+            "proc/transform" in activity and "in/data.csv" in entity
+            for activity, entity in used_pairs
+        )
+        generated = {
+            (rel["prov:entity"], rel["prov:activity"])
+            for rel in document["wasGeneratedBy"].values()
+        }
+        assert any(
+            "out/clean.csv:v0001" in entity for entity, _ in generated
+        )
+
+    def test_version_chain_is_revision(self, bundles):
+        document = to_prov_json(bundles)
+        revisions = [
+            rel
+            for rel in document["wasDerivedFrom"].values()
+            if rel.get("prov:type") == "prov:Revision"
+        ]
+        assert len(revisions) == 1
+        assert "out/clean.csv:v0002" in revisions[0]["prov:generatedEntity"]
+        assert "out/clean.csv:v0001" in revisions[0]["prov:usedEntity"]
+
+    def test_attributes_carried(self, bundles):
+        document = to_prov_json(bundles)
+        transform = next(
+            value
+            for key, value in document["activity"].items()
+            if "proc/transform" in key
+        )
+        assert transform["pass:argv"] == "--normalise"
+
+    def test_json_serialisable(self, bundles):
+        text = prov_json_dumps(bundles)
+        parsed = json.loads(text)
+        assert parsed["prefix"]["pass"].startswith("urn:")
+
+    def test_empty_document(self):
+        document = to_prov_json([])
+        assert document["entity"] == {} and document["activity"] == {}
+
+
+class TestLineageDot:
+    def test_full_graph_shapes(self, bundles):
+        dot = lineage_dot(bundles)
+        assert dot.startswith("digraph lineage")
+        assert "[shape=box];" in dot
+        assert "[shape=ellipse];" in dot
+
+    def test_version_edges_dashed(self, bundles):
+        dot = lineage_dot(bundles)
+        assert "[style=dashed];" in dot
+
+    def test_focus_restricts_to_ancestry(self, bundles):
+        focus = ObjectRef("out/clean.csv", 1)
+        dot = lineage_dot(bundles, focus=focus)
+        assert "out/clean.csv:v0001" in dot
+        assert "in/data.csv:v0001" in dot
+        assert "out/clean.csv:v0002" not in dot  # descendant, not ancestor
+
+    def test_focus_unknown_object(self, bundles):
+        dot = lineage_dot(bundles, focus=ObjectRef("ghost", 1))
+        assert "ghost" not in dot  # nothing known about it, nothing drawn

@@ -1,0 +1,83 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.aws.faults import FaultPlan, RequestFaults
+from repro.errors import ClientCrash, ServiceUnavailable
+
+
+class TestFaultPlan:
+    def test_inert_plan_logs_without_crashing(self):
+        plan = FaultPlan()
+        plan.check("step.one")
+        plan.check("step.two")
+        plan.check("step.one")
+        assert plan.log == ["step.one", "step.two", "step.one"]
+        assert plan.points_seen == ["step.one", "step.two"]
+
+    def test_crash_at_named_point(self):
+        plan = FaultPlan().crash_at("step.two")
+        plan.check("step.one")
+        with pytest.raises(ClientCrash) as exc:
+            plan.check("step.two")
+        assert exc.value.point == "step.two"
+
+    def test_crash_at_nth_visit(self):
+        plan = FaultPlan().crash_at("loop", visit=3)
+        plan.check("loop")
+        plan.check("loop")
+        with pytest.raises(ClientCrash):
+            plan.check("loop")
+
+    def test_crash_fires_once(self):
+        plan = FaultPlan().crash_at("p")
+        with pytest.raises(ClientCrash):
+            plan.check("p")
+        plan.check("p")  # disarmed after firing
+
+    def test_crash_at_call_index(self):
+        plan = FaultPlan().crash_at_call(3)
+        plan.check("a")
+        plan.check("b")
+        with pytest.raises(ClientCrash) as exc:
+            plan.check("c")
+        assert exc.value.point == "c"
+
+    def test_disarm(self):
+        plan = FaultPlan().crash_at("p").crash_at_call(1)
+        plan.disarm()
+        plan.check("p")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash_at("p", visit=0)
+        with pytest.raises(ValueError):
+            FaultPlan().crash_at_call(0)
+
+
+class TestRequestFaults:
+    def test_fail_next_specific_op(self):
+        faults = RequestFaults()
+        faults.fail_next("s3", "PUT")
+        with pytest.raises(ServiceUnavailable):
+            faults.before_request("s3", "PUT")
+        faults.before_request("s3", "PUT")  # only armed once
+        assert faults.failures_injected == 1
+
+    def test_fail_next_any_op(self):
+        faults = RequestFaults()
+        faults.fail_next("sqs", times=2)
+        with pytest.raises(ServiceUnavailable):
+            faults.before_request("sqs", "SendMessage")
+        with pytest.raises(ServiceUnavailable):
+            faults.before_request("sqs", "ReceiveMessage")
+        faults.before_request("sqs", "SendMessage")
+
+    def test_other_services_unaffected(self):
+        faults = RequestFaults()
+        faults.fail_next("s3", "PUT")
+        faults.before_request("simpledb", "PutAttributes")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestFaults().fail_next("s3", times=0)

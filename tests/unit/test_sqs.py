@@ -1,0 +1,173 @@
+"""Unit tests for the SQS simulator."""
+
+import pytest
+
+from repro import errors
+from repro.units import KB, SECONDS_PER_DAY
+
+
+@pytest.fixture
+def queue(strong_account):
+    url = strong_account.sqs.create_queue("q", visibility_timeout=30.0)
+    return strong_account, url
+
+
+class TestQueueManagement:
+    def test_create_returns_url(self, strong_account):
+        url = strong_account.sqs.create_queue("wal")
+        assert "wal" in url
+        assert url in strong_account.sqs.list_queues()
+
+    def test_create_idempotent_same_timeout(self, strong_account):
+        first = strong_account.sqs.create_queue("q", visibility_timeout=10.0)
+        second = strong_account.sqs.create_queue("q", visibility_timeout=10.0)
+        assert first == second
+
+    def test_create_conflicting_timeout_rejected(self, strong_account):
+        strong_account.sqs.create_queue("q", visibility_timeout=10.0)
+        with pytest.raises(errors.QueueNameExists):
+            strong_account.sqs.create_queue("q", visibility_timeout=20.0)
+
+    def test_missing_queue_rejected(self, strong_account):
+        with pytest.raises(errors.NoSuchQueue):
+            strong_account.sqs.send_message("sqs://queues/ghost", "x")
+
+
+class TestSendReceive:
+    def test_roundtrip(self, queue):
+        account, url = queue
+        account.sqs.send_message(url, "hello")
+        received = account.sqs.receive_message(url, max_messages=10)
+        assert [m.body for m in received] == ["hello"]
+
+    def test_message_size_limit(self, queue):
+        """§2.3: 'SQS imposes an 8KB limit on the size of the message'."""
+        account, url = queue
+        with pytest.raises(errors.MessageTooLong):
+            account.sqs.send_message(url, "x" * (8 * KB + 1))
+        account.sqs.send_message(url, "x" * (8 * KB))
+
+    def test_non_text_rejected(self, queue):
+        account, url = queue
+        with pytest.raises(errors.InvalidMessageContents):
+            account.sqs.send_message(url, b"bytes")  # type: ignore[arg-type]
+
+    def test_receive_batch_limit(self, queue):
+        """§2.3: at most 10 messages per ReceiveMessage."""
+        account, url = queue
+        for i in range(20):
+            account.sqs.send_message(url, f"m{i}")
+        received = account.sqs.receive_message(url, max_messages=10)
+        assert len(received) <= 10
+        with pytest.raises(ValueError):
+            account.sqs.receive_message(url, max_messages=11)
+
+    def test_sampling_can_miss_messages(self, strong_account):
+        """§2.3: a receive samples hosts; repeat to get everything."""
+        account = strong_account
+        sqs = account.sqs
+        # Recreate with partial sampling for this test.
+        from repro.aws.sqs import SQSService
+
+        sampled = SQSService(
+            account.clock, __import__("random").Random(5), account.meter,
+            host_count=8, sample_fraction=0.5,
+        )
+        url = sampled.create_queue("s")
+        for i in range(16):
+            sampled.send_message(url, f"m{i}")
+        first = sampled.receive_message(url, max_messages=10)
+        assert len(first) < 16  # one receive cannot see everything
+        # Draining with repeated receives eventually finds all messages.
+        seen = {m.message_id for m in first}
+        for _ in range(50):
+            for message in sampled.receive_message(url, max_messages=10):
+                seen.add(message.message_id)
+        assert len(seen) == 16
+
+
+class TestVisibilityTimeout:
+    def test_received_message_hidden_until_timeout(self, queue):
+        """§2.3: 'SQS blocks the message from other clients'."""
+        account, url = queue
+        account.sqs.send_message(url, "m")
+        first = account.sqs.receive_message(url)
+        assert len(first) == 1
+        assert account.sqs.receive_message(url, max_messages=10) == []
+        account.clock.advance(31.0)
+        reappeared = account.sqs.receive_message(url, max_messages=10)
+        assert [m.body for m in reappeared] == ["m"]
+        assert reappeared[0].receive_count == 2
+
+    def test_delete_before_timeout_removes_forever(self, queue):
+        account, url = queue
+        account.sqs.send_message(url, "m")
+        message = account.sqs.receive_message(url)[0]
+        account.sqs.delete_message(url, message.receipt_handle)
+        account.clock.advance(100.0)
+        assert account.sqs.receive_message(url, max_messages=10) == []
+        assert account.sqs.exact_message_count(url) == 0
+
+    def test_per_receive_timeout_override(self, queue):
+        account, url = queue
+        account.sqs.send_message(url, "m")
+        account.sqs.receive_message(url, visibility_timeout=5.0)
+        account.clock.advance(6.0)
+        assert len(account.sqs.receive_message(url, max_messages=10)) == 1
+
+
+class TestDeleteMessage:
+    def test_stale_handle_rejected_after_redelivery(self, queue):
+        account, url = queue
+        account.sqs.send_message(url, "m")
+        first = account.sqs.receive_message(url)[0]
+        account.clock.advance(31.0)
+        second = account.sqs.receive_message(url)[0]
+        with pytest.raises(errors.ReceiptHandleInvalid):
+            account.sqs.delete_message(url, first.receipt_handle)
+        account.sqs.delete_message(url, second.receipt_handle)
+
+    def test_delete_already_deleted_succeeds(self, queue):
+        account, url = queue
+        account.sqs.send_message(url, "m")
+        message = account.sqs.receive_message(url)[0]
+        account.sqs.delete_message(url, message.receipt_handle)
+        account.sqs.delete_message(url, message.receipt_handle)  # idempotent
+
+    def test_malformed_handle_rejected(self, queue):
+        account, url = queue
+        with pytest.raises(errors.ReceiptHandleInvalid):
+            account.sqs.delete_message(url, "not-a-handle")
+
+
+class TestApproximateCount:
+    def test_approximation_near_truth(self, queue):
+        account, url = queue
+        for i in range(40):
+            account.sqs.send_message(url, f"m{i}")
+        approx = account.sqs.approximate_number_of_messages(url)
+        assert 20 <= approx <= 60  # approximate, not exact (§2.3)
+
+    def test_invisible_messages_not_counted(self, queue):
+        account, url = queue
+        for i in range(10):
+            account.sqs.send_message(url, f"m{i}")
+        drained = []
+        while True:
+            batch = account.sqs.receive_message(url, max_messages=10)
+            if not batch:
+                break
+            drained.extend(batch)
+        assert account.sqs.approximate_number_of_messages(url) == 0
+
+
+class TestRetention:
+    def test_messages_older_than_four_days_vanish(self, queue):
+        """§4.3: 'SQS automatically deletes messages older than four days'."""
+        account, url = queue
+        account.sqs.send_message(url, "old")
+        account.clock.advance(4 * SECONDS_PER_DAY + 1)
+        account.sqs.send_message(url, "fresh")
+        bodies = {m.body for m in account.sqs.receive_message(url, max_messages=10)}
+        assert bodies == {"fresh"}
+        assert account.sqs.messages_expired == 1

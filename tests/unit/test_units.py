@@ -1,0 +1,59 @@
+"""Unit tests for byte-size units and formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_paper_limits(self):
+        # The §2 limits the protocols are built around.
+        assert units.S3_MAX_METADATA_SIZE == 2048
+        assert units.S3_MAX_OBJECT_SIZE == 5 * 1024**3
+        assert units.SDB_MAX_VALUE_SIZE == 1024
+        assert units.SDB_MAX_ATTRS_PER_ITEM == 256
+        assert units.SDB_MAX_ATTRS_PER_CALL == 100
+        assert units.SQS_MAX_MESSAGE_SIZE == 8192
+        assert units.SQS_RETENTION_SECONDS == 4 * 24 * 3600
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (121.8 * units.MB, "121.8MB"),
+            (1.27 * units.GB, "1.27GB"),
+            (2.8 * units.KB, "2.8KB"),
+            (512, "512B"),
+            (0, "0B"),
+        ],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert units.fmt_bytes(value) == expected
+
+    def test_fmt_count(self):
+        assert units.fmt_count(31180) == "31,180"
+
+    def test_fmt_ratio(self):
+        assert units.fmt_ratio(121.8 * units.MB, 1.27 * 1024 * units.MB) == "9.4%"
+        assert units.fmt_ratio(1, 0) == "n/a"
+
+    def test_fmt_factor(self):
+        assert units.fmt_factor(168514, 31180) == "5.4x"
+        assert units.fmt_factor(24952, 31180) == "0.80x"
+        assert units.fmt_factor(231287, 31180) == "7.42x"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("2KB", 2048),
+            ("512B", 512),
+            ("1.5MB", int(1.5 * units.MB)),
+            ("3GB", 3 * units.GB),
+            ("1024", 1024),
+        ],
+    )
+    def test_round_trips(self, text, expected):
+        assert units.parse_size(text) == expected
