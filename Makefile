@@ -1,0 +1,26 @@
+# Developer entry points — no tox, no extra deps beyond pytest/hypothesis
+# (pytest-benchmark needed only for the bench targets).
+#
+#   make test         tier-1 suite (what CI runs, fixed hypothesis profile)
+#   make test-fast    same suite, fewer hypothesis examples
+#   make bench-smoke  quick benchmark pass at a reduced live scale
+#   make bench        full benchmark suite (regenerates benchmarks/results/)
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='bench_*.py'
+
+.PHONY: test test-fast bench bench-smoke
+
+test:
+	HYPOTHESIS_PROFILE=ci $(PYTEST) -x -q
+
+test-fast:
+	HYPOTHESIS_PROFILE=dev $(PYTEST) -x -q
+
+bench-smoke:
+	$(BENCH) -q -x --benchmark-disable \
+		bench_sharding_scaleout.py bench_table3_query.py
+
+bench:
+	$(BENCH) -q

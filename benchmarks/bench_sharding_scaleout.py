@@ -1,0 +1,124 @@
+"""Shard scale-out — Q2/Q3 scatter-gather cost and storage skew.
+
+The §6 discussion concedes one SimpleDB domain bounds capacity and query
+throughput; the shard router splits the provenance domain N ways by
+consistent hash of the object path. This benchmark loads the same live
+trace at N ∈ {1, 4, 16} and reports, from meter deltas:
+
+* Q1 operation count — must be independent of N (single-shard route);
+* Q2/Q3 operation counts — the latency proxy; scatter-gather multiplies
+  query fan-out by N while per-shard work shrinks;
+* storage skew — authoritative items per shard, max/mean vs the 2x
+  hash-balance budget.
+
+Result sets must be identical at every N (the property suite hammers
+this; here it guards the measured configurations).
+"""
+
+import pytest
+
+from repro.analysis.report import TextTable
+from repro.query.engine import SimpleDBEngine
+from repro.sim import Simulation
+
+from conftest import save_result
+
+SHARD_COUNTS = (1, 4, 16)
+PROGRAM = "blast"
+
+
+@pytest.fixture(scope="module")
+def sharded_sims(live_events):
+    """One loaded s3+simpledb deployment per shard count."""
+    sims = {}
+    for shards in SHARD_COUNTS:
+        sim = Simulation(architecture="s3+simpledb", seed=13, shards=shards)
+        sim.store_events(live_events, collect=False)
+        sims[shards] = sim
+    return sims
+
+
+@pytest.fixture(scope="module")
+def scaleout_rows(sharded_sims):
+    rows = {}
+    for shards, sim in sharded_sims.items():
+        engine = sim.query_engine()
+        q2 = engine.q2_outputs_of(PROGRAM)
+        q3 = engine.q3_descendants_of(PROGRAM)
+        q1 = engine.q1(q2.refs[0])
+        rows[shards] = {"q1": q1, "q2": q2, "q3": q3}
+    return rows
+
+
+def test_scaleout_table(benchmark, sharded_sims, scaleout_rows, live_events):
+    benchmark(sharded_sims[16].query_engine().q2_outputs_of, PROGRAM)
+    table = TextTable(
+        ["shards", "Q1 ops", "Q2 ops", "Q3 ops", "Q2 bytes", "Q3 bytes",
+         "items max/mean"],
+        title=(
+            f"Shard scale-out ({len(live_events)}-object repository, "
+            f"queries on {PROGRAM!r})"
+        ),
+    )
+    for shards, sim in sharded_sims.items():
+        rows = scaleout_rows[shards]
+        counts = list(sim.store.router.item_counts(sim.account.simpledb).values())
+        mean = sum(counts) / len(counts)
+        table.add_row(
+            shards,
+            rows["q1"].operations,
+            rows["q2"].operations,
+            rows["q3"].operations,
+            rows["q2"].bytes_out,
+            rows["q3"].bytes_out,
+            f"{max(counts) / mean:.2f}",
+        )
+    save_result("sharding_scaleout", table.render())
+
+
+def test_results_identical_across_shard_counts(scaleout_rows):
+    baseline = scaleout_rows[1]
+    for shards in SHARD_COUNTS[1:]:
+        for query in ("q1", "q2", "q3"):
+            assert set(scaleout_rows[shards][query].refs) == set(
+                baseline[query].refs
+            ), f"{query} diverged at shards={shards}"
+
+
+def test_q1_operations_independent_of_shard_count(scaleout_rows):
+    ops = {shards: rows["q1"].operations for shards, rows in scaleout_rows.items()}
+    assert len(set(ops.values())) == 1, f"Q1 must be single-shard: {ops}"
+
+
+def test_scatter_cost_grows_with_shards(scaleout_rows):
+    # Q2/Q3 fan out one query per shard per phase: operation counts are
+    # monotone in N and per-shard accounting covers the full spend.
+    q2_ops = [scaleout_rows[s]["q2"].operations for s in SHARD_COUNTS]
+    assert q2_ops == sorted(q2_ops)
+    for shards in SHARD_COUNTS:
+        m = scaleout_rows[shards]["q2"]
+        assert len(m.per_shard) <= max(shards, 1)
+        assert sum(ops for _, ops, _ in m.per_shard) == m.operations
+        assert sum(nbytes for _, _, nbytes in m.per_shard) == m.bytes_out
+
+
+def test_storage_skew_within_hash_balance_budget(sharded_sims):
+    sim = sharded_sims[16]
+    counts = list(sim.store.router.item_counts(sim.account.simpledb).values())
+    mean = sum(counts) / len(counts)
+    assert max(counts) <= 2 * mean, f"overloaded shard: {counts}"
+    assert min(counts) >= mean / 2, f"starved shard: {counts}"
+
+
+def test_unsharded_meter_totals_match_plain_run(live_events):
+    # shards=1 must be byte-identical to the seed deployment: same
+    # requests, same transfer, same stored bytes.
+    plain = Simulation(architecture="s3+simpledb", seed=13)
+    plain.store_events(live_events, collect=False)
+    routed = Simulation(architecture="s3+simpledb", seed=13, shards=1)
+    routed.store_events(live_events, collect=False)
+    a, b = plain.usage(), routed.usage()
+    assert a.requests == b.requests
+    assert a.bytes_in == b.bytes_in
+    assert a.bytes_out == b.bytes_out
+    assert a.stored_bytes == b.stored_bytes

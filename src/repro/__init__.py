@@ -10,15 +10,18 @@ Public API highlights:
 * :mod:`repro.workloads` — Linux-compile / Blast / Provenance-Challenge
   trace generators.
 * :mod:`repro.query` — the Q1/Q2/Q3 query engine over both backends.
+* :class:`repro.sharding.ShardRouter` — consistent-hash sharding of the
+  provenance domain across N SimpleDB domains (scatter-gather queries).
 * :mod:`repro.analysis` — the paper's §5 storage/query cost models and
   table renderers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.aws.account import AWSAccount, ConsistencyConfig
 from repro.blob import Blob, BytesBlob, SyntheticBlob, as_blob
 from repro.clock import SimClock
+from repro.sharding import ShardRouter, rebalance
 
 __all__ = [
     "AWSAccount",
@@ -28,5 +31,7 @@ __all__ = [
     "SyntheticBlob",
     "as_blob",
     "SimClock",
+    "ShardRouter",
+    "rebalance",
     "__version__",
 ]

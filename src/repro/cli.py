@@ -151,7 +151,16 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim import Simulation
 
     sim = Simulation(architecture=args.architecture or "s3+simpledb+sqs",
-                     seed=args.seed)
+                     seed=args.seed, shards=args.shards)
+    if args.shards > 1:
+        if sim.architecture == "s3":
+            print("note: --shards has no effect on the s3 architecture "
+                  "(provenance lives in object metadata, not SimpleDB)")
+        else:
+            print(
+                f"provenance domain sharded {args.shards} ways: "
+                f"{', '.join(sim.store.router.domains)}"
+            )
     pas = PassSystem(workload="demo")
     pas.stage_input("demo/input.csv", b"x,y\n1,2\n")
     with pas.process("analyze", argv="--quick") as proc:
@@ -166,6 +175,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print(f"  {record}")
     print(sim.bill())
     return 0
+
+
+def _shard_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"shard count must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="end-to-end tour")
     demo.add_argument("--architecture", choices=["s3", "s3+simpledb",
                                                  "s3+simpledb+sqs"])
+    demo.add_argument(
+        "--shards", type=_shard_count, default=1,
+        help="split the provenance domain across N SimpleDB domains "
+        "(consistent-hash routed; default 1, the paper's layout)",
+    )
     demo.set_defaults(handler=cmd_demo)
 
     export = commands.add_parser(

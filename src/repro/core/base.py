@@ -14,11 +14,23 @@ Common conventions (§4):
   bucket, keyed by object version (so they are never overwritten by a
   later version);
 * provenance-in-SimpleDB architectures use the domain
-  :data:`PROV_DOMAIN` with one item per object version;
+  :data:`PROV_DOMAIN` with one item per object version — or, when a
+  :class:`~repro.sharding.ShardRouter` with ``shards > 1`` is supplied,
+  N domains with items routed by consistent hash of the object's path
+  (every store carries a router; the default ``shards=1`` router
+  degenerates to :data:`PROV_DOMAIN` and is byte-identical to the
+  paper's deployment);
 * reads go through a :class:`RetryPolicy` — under eventual consistency a
   correct client must be prepared to re-issue requests until data and
   provenance agree (§4.2's "reissue the query ... until we get
   consistent provenance and data").
+
+Shard routing protocol and its caveats: writes route each provenance
+item to ``router.domain_for(path)``; reads for a known path are
+single-shard; domain-wide operations (orphan recovery, Q2/Q3) must
+scatter across every shard and gather, with no cross-shard snapshot —
+each shard answers at its own replica time, so the usual eventual-
+consistency retry discipline applies per shard.
 """
 
 from __future__ import annotations
@@ -36,9 +48,10 @@ from repro.errors import (
     ServiceUnavailable,
 )
 from repro.passlib.records import FlushEvent, ObjectRef, ProvenanceBundle
+from repro.sharding import DEFAULT_BASE_DOMAIN, ShardRouter
 
 DATA_BUCKET = "pass-data"
-PROV_DOMAIN = "pass-prov"
+PROV_DOMAIN = DEFAULT_BASE_DOMAIN
 TEMP_PREFIX = ".pass/tmp/"
 
 
@@ -144,10 +157,14 @@ class ProvenanceCloudStore:
     name: str = "abstract"
 
     def __init__(self, account: AWSAccount, faults: FaultPlan = NO_FAULTS,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None, shards: int = 1,
+                 router: ShardRouter | None = None):
         self.account = account
         self.faults = faults
         self.retry = retry or RetryPolicy()
+        #: Provenance-domain shard router; ``shards=1`` (the default) is
+        #: the paper's single :data:`PROV_DOMAIN` deployment.
+        self.router = router or ShardRouter(shards)
         self.stores_completed = 0
         self._provisioned = False
 
@@ -220,6 +237,32 @@ class ProvenanceCloudStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(stores={self.stores_completed})"
+
+
+def put_provenance_item(
+    account: AWSAccount,
+    router: ShardRouter,
+    item_name: str,
+    attributes: Iterable[tuple[str, str]],
+) -> None:
+    """Store one provenance item on its shard, ≤100 attributes per call.
+
+    The single implementation of §4.2 step 3 / §4.3 step 2(c): both the
+    A2 client path and the A3 commit daemon must route and batch
+    identically, or a sharded deployment's two write paths diverge.
+    """
+    from repro.aws.simpledb import Attribute
+    from repro.units import SDB_MAX_ATTRS_PER_CALL
+
+    domain = router.domain_for_item(item_name)
+    attrs = [Attribute(name, value) for name, value in attributes]
+    for start in range(0, len(attrs), SDB_MAX_ATTRS_PER_CALL):
+        call_with_retries(
+            account.simpledb.put_attributes,
+            domain,
+            item_name,
+            attrs[start : start + SDB_MAX_ATTRS_PER_CALL],
+        )
 
 
 def data_key(name: str) -> str:

@@ -33,17 +33,17 @@ from dataclasses import dataclass, field
 
 from repro.aws.account import AWSAccount
 from repro.aws.faults import NO_FAULTS, FaultPlan
-from repro.aws.simpledb import Attribute
 from repro.core.base import (
     DATA_BUCKET,
-    PROV_DOMAIN,
     TEMP_PREFIX,
     call_with_retries,
     data_key,
+    put_provenance_item,
 )
 from repro.core.wal import AssembledTransaction, TransactionAssembler
 from repro.errors import NoSuchKey, ReceiptHandleInvalid
-from repro.units import SDB_MAX_ATTRS_PER_CALL, SECONDS_PER_DAY
+from repro.sharding import ShardRouter
+from repro.units import SECONDS_PER_DAY
 
 
 @dataclass
@@ -82,9 +82,13 @@ class CommitDaemon:
         empty_rounds_to_stop: int = 4,
         visibility_timeout: float = 120.0,
         faults: FaultPlan = NO_FAULTS,
+        router: ShardRouter | None = None,
     ):
         self.account = account
         self.queue_url = queue_url
+        #: Routes each provenance item to its shard domain; the default
+        #: single-shard router reproduces the paper's one-domain layout.
+        self.router = router or ShardRouter(1)
         self.threshold = threshold
         self.receive_batch = receive_batch
         self.max_rounds = max_rounds
@@ -232,16 +236,10 @@ class CommitDaemon:
                 self._copy_with_retry(txn, record["temp"], record["key"])
         faults.check("daemon.apply.after_overflow")
 
-        # 2(c): store the provenance items, ≤100 attributes per call.
+        # 2(c): store the provenance items, ≤100 attributes per call,
+        # each item on its shard's domain (same helper as the A2 path).
         for item_name, attributes in txn.items():
-            attrs = [Attribute(name, value) for name, value in attributes]
-            for start in range(0, len(attrs), SDB_MAX_ATTRS_PER_CALL):
-                call_with_retries(
-                    self.account.simpledb.put_attributes,
-                    PROV_DOMAIN,
-                    item_name,
-                    attrs[start : start + SDB_MAX_ATTRS_PER_CALL],
-                )
+            put_provenance_item(self.account, self.router, item_name, attributes)
         faults.check("daemon.apply.after_put_attributes")
 
         # 2(d): delete the WAL messages...

@@ -45,7 +45,6 @@ from repro.errors import ClientCrash, ReadCorrectnessViolation
 from repro.passlib.capture import PassSystem
 from repro.passlib.records import FlushEvent, ObjectRef
 from repro.query.ancestry import AncestryWalker
-from repro.query.engine import S3ScanEngine, SimpleDBEngine
 
 #: The paper's Table 1, as (atomicity, consistency, causal, query).
 PAPER_TABLE1 = {
@@ -335,6 +334,11 @@ def check_efficient_query(architecture: str, seed: int = 0) -> tuple[bool, str]:
         store.pump()
     account.quiesce()
     n_objects = len(trace)
+
+    # Imported here, not at module top: repro.core.__init__ pulls this
+    # module in, so a top-level engine import would make the whole
+    # repro.core package unimportable from within repro.query.
+    from repro.query.engine import S3ScanEngine, SimpleDBEngine
 
     if architecture == "s3":
         engine = S3ScanEngine(account)

@@ -35,18 +35,17 @@ from __future__ import annotations
 
 from repro.aws.account import AWSAccount
 from repro.aws.faults import NO_FAULTS, FaultPlan
-from repro.aws.simpledb import Attribute
 from repro.core.base import (
     call_with_retries,
     Component,
     DATA_BUCKET,
     Flow,
-    PROV_DOMAIN,
     ProvenanceCloudStore,
     ReadResult,
     RetryPolicy,
     _InconsistentRead,
     data_key,
+    put_provenance_item,
 )
 from repro.errors import NoSuchKey, ReadCorrectnessViolation
 from repro.passlib.records import (
@@ -57,7 +56,6 @@ from repro.passlib.records import (
     consistency_token,
 )
 from repro.passlib.serializer import SdbItemPayload, bundle_from_item, to_simpledb_items
-from repro.units import SDB_MAX_ATTRS_PER_CALL
 
 
 class S3SimpleDB(ProvenanceCloudStore):
@@ -70,14 +68,16 @@ class S3SimpleDB(ProvenanceCloudStore):
         account: AWSAccount,
         faults: FaultPlan = NO_FAULTS,
         retry: RetryPolicy | None = None,
+        shards: int = 1,
+        router=None,
     ):
-        super().__init__(account, faults, retry)
+        super().__init__(account, faults, retry, shards=shards, router=router)
         self.consistency_retries = 0
         self.orphans_removed = 0
 
     def _do_provision(self) -> None:
         self._ensure_bucket(DATA_BUCKET)
-        self.account.simpledb.create_domain(PROV_DOMAIN)
+        self.router.provision(self.account.simpledb)
 
     # -- store protocol (§4.2) ------------------------------------------------
 
@@ -110,16 +110,14 @@ class S3SimpleDB(ProvenanceCloudStore):
         faults.check("a2.store.done")
 
     def _put_item(self, payload: SdbItemPayload) -> None:
-        """PutAttributes in batches of ≤100 attributes (§4.2 step 3)."""
-        attributes = [Attribute(name, value) for name, value in payload.attributes]
-        for start in range(0, len(attributes), SDB_MAX_ATTRS_PER_CALL):
-            batch = attributes[start : start + SDB_MAX_ATTRS_PER_CALL]
-            call_with_retries(
-                self.account.simpledb.put_attributes,
-                PROV_DOMAIN,
-                payload.item_name,
-                batch,
-            )
+        """PutAttributes in batches of ≤100 attributes (§4.2 step 3).
+
+        Each item routes to its owning shard domain; batches never span
+        shards because an item lives wholly on one shard.
+        """
+        put_provenance_item(
+            self.account, self.router, payload.item_name, payload.attributes
+        )
 
     # -- read protocol -------------------------------------------------------------
 
@@ -134,7 +132,9 @@ class S3SimpleDB(ProvenanceCloudStore):
         if nonce is None:
             raise ReadCorrectnessViolation(f"{name}: S3 object carries no nonce")
         subject = ObjectRef(name, int(nonce.lstrip("v")))
-        attrs = self.account.simpledb.get_attributes(PROV_DOMAIN, subject.item_name)
+        attrs = self.account.simpledb.get_attributes(
+            self.router.domain_for(name), subject.item_name
+        )
         if not attrs:
             # SimpleDB replica hasn't seen the item (or it was never
             # stored — the orphan-data flavour of an atomicity break).
@@ -152,7 +152,9 @@ class S3SimpleDB(ProvenanceCloudStore):
 
     def _read_version(self, name: str, version: int) -> ReadResult:
         subject = ObjectRef(name, version)
-        attrs = self.account.simpledb.get_attributes(PROV_DOMAIN, subject.item_name)
+        attrs = self.account.simpledb.get_attributes(
+            self.router.domain_for(name), subject.item_name
+        )
         if not attrs:
             raise _InconsistentRead(f"{subject.item_name}: no provenance visible")
         bundle = self._decode_item(subject.item_name, attrs)
@@ -189,13 +191,14 @@ class S3SimpleDB(ProvenanceCloudStore):
         tolerating replicas that have not seen the newest item yet.
         """
         self.provision()
+        domain = self.router.domain_for(name)
         history: list[ProvenanceBundle] = []
         version = 1
         misses = 0
         while misses < max_gap:
             subject = ObjectRef(name, version)
             attrs = self.account.simpledb.get_attributes(
-                PROV_DOMAIN, subject.item_name
+                domain, subject.item_name
             )
             if attrs:
                 history.append(self._decode_item(subject.item_name, attrs))
@@ -213,26 +216,28 @@ class S3SimpleDB(ProvenanceCloudStore):
         An item is an orphan when it describes a *file* version newer
         than anything S3 holds for that name — the signature of a client
         that crashed between step 3 (provenance) and step 4 (data). The
-        scan touches every item in the domain, which is exactly why the
-        paper calls this recovery inelegant and motivates A3.
+        scan touches every item in every shard domain, which is exactly
+        why the paper calls this recovery inelegant and motivates A3
+        (and sharding only multiplies the scan's fan-out).
         """
         self.provision()
         removed = []
-        token = None
-        while True:
-            page = self.account.simpledb.query_with_attributes(
-                PROV_DOMAIN, None, next_token=token
-            )
-            for item_name, attrs in page.items:
-                if Attr.MD5 not in attrs:
-                    continue  # transient-object item; no data expected
-                subject = ObjectRef.from_item_name(item_name)
-                if self._is_orphan(subject):
-                    self.account.simpledb.delete_attributes(PROV_DOMAIN, item_name)
-                    removed.append(item_name)
-            token = page.next_token
-            if token is None:
-                break
+        for domain in self.router.domains:
+            token = None
+            while True:
+                page = self.account.simpledb.query_with_attributes(
+                    domain, None, next_token=token
+                )
+                for item_name, attrs in page.items:
+                    if Attr.MD5 not in attrs:
+                        continue  # transient-object item; no data expected
+                    subject = ObjectRef.from_item_name(item_name)
+                    if self._is_orphan(subject):
+                        self.account.simpledb.delete_attributes(domain, item_name)
+                        removed.append(item_name)
+                token = page.next_token
+                if token is None:
+                    break
         self.orphans_removed += len(removed)
         return removed
 

@@ -60,8 +60,10 @@ class S3SimpleDBSQS(S3SimpleDB):
         client_id: str = "client-0",
         commit_threshold: int = 10,
         daemon_faults: FaultPlan = NO_FAULTS,
+        shards: int = 1,
+        router=None,
     ):
-        super().__init__(account, faults, retry)
+        super().__init__(account, faults, retry, shards=shards, router=router)
         self.client_id = client_id
         self.epoch = next(_EPOCHS)
         self.queue_url: str | None = None
@@ -87,6 +89,7 @@ class S3SimpleDBSQS(S3SimpleDB):
                 self.queue_url,
                 threshold=self._commit_threshold,
                 faults=self._daemon_faults,
+                router=self.router,
             )
         return self._commit_daemon
 
@@ -105,6 +108,7 @@ class S3SimpleDBSQS(S3SimpleDB):
             self.queue_url,
             threshold=self._commit_threshold,
             faults=faults,
+            router=self.router,
         )
         return self._commit_daemon
 

@@ -65,8 +65,12 @@ class S3Standalone(ProvenanceCloudStore):
         account: AWSAccount,
         faults: FaultPlan = NO_FAULTS,
         retry: RetryPolicy | None = None,
+        shards: int = 1,
+        router=None,
     ):
-        super().__init__(account, faults, retry)
+        # A1 keeps no SimpleDB domain; the router is accepted (so the
+        # fleet can construct every architecture uniformly) but unused.
+        super().__init__(account, faults, retry, shards=shards, router=router)
         self.overflow_objects_written = 0
 
     def _do_provision(self) -> None:

@@ -28,6 +28,7 @@ from repro.core.s3_standalone import S3Standalone
 from repro.errors import ClientCrash
 from repro.passlib.records import FlushEvent
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
+from repro.sharding import ShardRouter
 
 _FACTORIES = {
     "s3": S3Standalone,
@@ -60,6 +61,7 @@ class ClientFleet:
         architecture: str = "s3+simpledb+sqs",
         seed: int = 0,
         consistency: ConsistencyConfig | None = None,
+        shards: int = 1,
     ):
         if architecture not in _FACTORIES:
             raise ValueError(f"unknown architecture {architecture!r}")
@@ -67,7 +69,12 @@ class ClientFleet:
         self.account = AWSAccount(
             seed=seed, consistency=consistency or ConsistencyConfig.strong()
         )
+        #: One seeded stream drives every fleet-level random choice —
+        #: never the module-level ``random`` state, which other tests
+        #: (or pytest-xdist workers) would perturb. Same seed, same run.
         self._rng = random.Random(f"fleet:{seed}")
+        #: All clients share one shard layout of the provenance domain.
+        self.router = ShardRouter(shards)
         self.clients: dict[str, FleetClient] = {}
         for index in range(n_clients):
             self._spawn(f"client-{index}")
@@ -78,7 +85,7 @@ class ClientFleet:
         retry = RetryPolicy(
             attempts=12, wait=lambda: self.account.clock.advance(0.5)
         )
-        kwargs = {}
+        kwargs = {"router": self.router}
         if self.architecture == "s3+simpledb+sqs":
             kwargs["client_id"] = name
         store = _FACTORIES[self.architecture](
@@ -105,6 +112,22 @@ class ClientFleet:
     def submit(self, client_name: str, events: list[FlushEvent]) -> None:
         """Queue a client's flush events (its own namespace of objects)."""
         self.clients[client_name].pending.extend(events)
+
+    def scatter(self, traces: list[list[FlushEvent]]) -> dict[str, int]:
+        """Deal whole traces across clients using the fleet's seeded RNG.
+
+        Each trace (one job's causally ordered flush events) goes to a
+        single client, chosen from the fleet's own ``random.Random``
+        stream — deterministic for a given fleet seed regardless of what
+        other code did to the global RNG. Returns events-per-client.
+        """
+        names = sorted(self.clients)
+        assigned: dict[str, int] = {name: 0 for name in names}
+        for trace in traces:
+            name = names[self._rng.randrange(len(names))]
+            self.submit(name, trace)
+            assigned[name] += len(trace)
+        return assigned
 
     def run_round_robin(self, batch: int = 5, crash_schedule: dict | None = None) -> int:
         """Interleave stores across clients until every backlog drains.
@@ -162,7 +185,7 @@ class ClientFleet:
     def query_engine(self):
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
-        return SimpleDBEngine(self.account)
+        return SimpleDBEngine(self.account, router=self.router)
 
     def read(self, name: str):
         """Read through any client (they share the cloud)."""

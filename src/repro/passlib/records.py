@@ -67,6 +67,15 @@ class ObjectRef:
         return f"{self.name}:v{self.version:0{VERSION_DIGITS}d}"
 
     @property
+    def path(self) -> str:
+        """The object's path (PASS file name) — the shard-routing key.
+
+        All versions of one object share a path, so a consistent-hash
+        router keeps an object's whole version history on one shard.
+        """
+        return self.name
+
+    @property
     def item_name(self) -> str:
         """SimpleDB item name for this version: ``name_vNNNN``."""
         return f"{self.name}_v{self.version:0{VERSION_DIGITS}d}"

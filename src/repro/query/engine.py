@@ -15,11 +15,21 @@ The three representative queries:
 Each engine method returns a :class:`QueryMeasurement` whose operation
 and byte counts come from meter deltas — the queries are charged exactly
 what the simulated AWS services metered.
+
+Sharded domains (scatter-gather): when the provenance store is split
+across N domains by a :class:`~repro.sharding.ShardRouter`, the engine
+routes **Q1 to the single shard owning the object's path** (its cost is
+independent of N) and **scatters Q2/Q3 across every shard**, merging the
+result frontiers client-side between BFS rounds. Per-shard operation and
+byte spend is captured on ``QueryMeasurement.per_shard`` by snapshotting
+the meter around each shard's requests, so Table 3 numbers — total and
+per shard — remain meter-derived rather than modelled. Caveat: there is
+no cross-shard snapshot; each shard answers at its own replica time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.aws import billing
 from repro.aws.account import AWSAccount
@@ -32,6 +42,7 @@ from repro.passlib.serializer import (
     bundle_from_item,
     bundles_from_s3_metadata,
 )
+from repro.sharding import ShardRouter
 
 #: Cross-reference values packed into one bracket predicate (bounded by
 #: SimpleDB's query-expression size limits).
@@ -40,12 +51,19 @@ REF_BATCH = 20
 
 @dataclass(frozen=True)
 class QueryMeasurement:
-    """A query's result set plus what it cost to compute."""
+    """A query's result set plus what it cost to compute.
+
+    ``per_shard`` breaks the spend down as ``(domain, operations,
+    bytes_out)`` triples, one per shard domain touched — populated by the
+    SimpleDB engine from meter deltas taken around each shard's
+    requests (empty for the S3 scan engine, which has no shards).
+    """
 
     refs: tuple[ObjectRef, ...]
     operations: int
     bytes_out: int
     usage: Usage
+    per_shard: tuple[tuple[str, int, int], ...] = ()
 
     @property
     def result_count(self) -> int:
@@ -148,6 +166,12 @@ class SimpleDBEngine(_Metered):
     ``select_mode=True`` issues the same logical queries through the
     SELECT front-end (§2.2 lists Query, QueryWithAttributes *and*
     SELECT); results are identical, only the wire language differs.
+
+    ``router`` (or a store's ``.router``) selects the sharded layout:
+    Q1 routes to the one shard owning the subject's path, while Q2/Q3
+    scatter every phase across all shards and merge the frontiers
+    client-side. The default router is the paper's single domain, under
+    which every request sequence is identical to the unsharded engine.
     """
 
     def __init__(
@@ -157,57 +181,114 @@ class SimpleDBEngine(_Metered):
         bucket: str = DATA_BUCKET,
         ref_batch: int = REF_BATCH,
         select_mode: bool = False,
+        router: ShardRouter | None = None,
     ):
         super().__init__(account)
-        self.domain = domain
+        self.router = router or ShardRouter(1, base_domain=domain)
+        #: Retained for single-shard callers (and select rendering when
+        #: N=1); with ``shards > 1`` queries name per-shard domains.
+        self.domain = self.router.domains[0]
         self.bucket = bucket
         self.ref_batch = ref_batch
         self.select_mode = select_mode
+        self._shard_spend: dict[str, tuple[int, int]] = {}
 
     def _fetch_overflow(self, key: str) -> str:
         return self.account.s3.get(self.bucket, key).bytes().decode("utf-8")
 
+    # -- per-shard accounting --------------------------------------------------
+
+    def _begin(self) -> Usage:
+        """Start a measured query: reset shard spend, snapshot the meter."""
+        self._shard_spend = {}
+        return self.account.meter.snapshot()
+
+    def _on_shard(self, domain: str, fn, *args, **kwargs):
+        """Run one shard-directed request, charging its meter delta.
+
+        The delta includes any S3 overflow GETs issued while decoding
+        that shard's items, so per-shard spend sums to the query total.
+        """
+        before = self.account.meter.snapshot()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            spent = self.account.meter.snapshot() - before
+            ops, nbytes = self._shard_spend.get(domain, (0, 0))
+            self._shard_spend[domain] = (
+                ops + spent.request_count(),
+                nbytes + spent.transfer_out(),
+            )
+
+    def _measure_sharded(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
+        measurement = self._measure(refs, before)
+        per_shard = tuple(
+            (domain, ops, nbytes)
+            for domain, (ops, nbytes) in sorted(self._shard_spend.items())
+        )
+        return replace(measurement, per_shard=per_shard)
+
     # -- Q1 -------------------------------------------------------------------
 
     def q1(self, ref: ObjectRef) -> QueryMeasurement:
-        """Provenance of one object version: a single indexed lookup."""
-        before = self.account.meter.snapshot()
-        attrs = self.account.simpledb.get_attributes(self.domain, ref.item_name)
+        """Provenance of one object version: a single indexed lookup.
+
+        Routed to the shard owning ``ref.path`` — its operation count is
+        independent of how many shards the domain is split into.
+        """
+        before = self._begin()
+        domain = self.router.domain_for(ref.path)
         refs: set[ObjectRef] = set()
+        attrs = self._on_shard(
+            domain, self.account.simpledb.get_attributes, domain, ref.item_name
+        )
         if attrs:
-            bundle = bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
+            bundle = self._on_shard(
+                domain, bundle_from_item, ref.item_name, attrs, self._fetch_overflow
+            )
             refs.add(bundle.subject)
-        return self._measure(refs, before)
+        return self._measure_sharded(refs, before)
 
     def q1_all(self) -> QueryMeasurement:
         """Q1 over every item: one lookup *per item* (§5's 72K ops).
 
         SimpleDB cannot "generalise the query", so after paging through
-        the item names it issues one GetAttributes per item (plus a GET
-        per spilled value).
+        each shard's item names it issues one GetAttributes per item
+        (plus a GET per spilled value) against that item's shard.
         """
-        before = self.account.meter.snapshot()
+        before = self._begin()
         refs: set[ObjectRef] = set()
-        token: str | None = None
-        names: list[str] = []
-        while True:
-            page = self.account.simpledb.query(self.domain, None, next_token=token)
-            names.extend(page.item_names)
-            token = page.next_token
-            if token is None:
-                break
-        for item_name in names:
-            attrs = self.account.simpledb.get_attributes(self.domain, item_name)
-            if not attrs:
-                continue
-            bundle = bundle_from_item(item_name, attrs, self._fetch_overflow)
-            refs.add(bundle.subject)
-        return self._measure(refs, before)
+        for domain in self.router.domains:
+            token: str | None = None
+            names: list[str] = []
+            while True:
+                page = self._on_shard(
+                    domain,
+                    self.account.simpledb.query,
+                    domain,
+                    None,
+                    next_token=token,
+                )
+                names.extend(page.item_names)
+                token = page.next_token
+                if token is None:
+                    break
+            for item_name in names:
+                attrs = self._on_shard(
+                    domain, self.account.simpledb.get_attributes, domain, item_name
+                )
+                if not attrs:
+                    continue
+                bundle = self._on_shard(
+                    domain, bundle_from_item, item_name, attrs, self._fetch_overflow
+                )
+                refs.add(bundle.subject)
+        return self._measure_sharded(refs, before)
 
     # -- Q2 -------------------------------------------------------------------------
 
-    def _paged_query(self, expression: str, select: str):
-        """Run one logical query via the configured front-end, paging.
+    def _paged_query(self, domain: str, expression: str, select: str):
+        """Run one logical query on one shard via the front-end, paging.
 
         Yields (item name, attrs) pairs; the bracket expression and the
         SELECT statement are two spellings of the same predicate.
@@ -215,10 +296,14 @@ class SimpleDBEngine(_Metered):
         token: str | None = None
         while True:
             if self.select_mode:
-                page = self.account.simpledb.select(select, next_token=token)
+                page = self._on_shard(
+                    domain, self.account.simpledb.select, select, next_token=token
+                )
             else:
-                page = self.account.simpledb.query_with_attributes(
-                    self.domain,
+                page = self._on_shard(
+                    domain,
+                    self.account.simpledb.query_with_attributes,
+                    domain,
                     expression,
                     attribute_names=[Attr.TYPE],
                     next_token=token,
@@ -229,19 +314,27 @@ class SimpleDBEngine(_Metered):
                 return
 
     def _find_program_instances(self, program: str) -> set[ObjectRef]:
-        """Phase 1: all process versions of ``program``."""
+        """Phase 1: all process versions of ``program`` — every shard."""
         expression = f"['type' = 'process'] intersection ['name' = '{program}']"
-        select = (
-            f"select type from {self.domain} "
-            f"where type = 'process' and name = '{program}'"
-        )
-        return {
-            ObjectRef.from_item_name(name)
-            for name, _ in self._paged_query(expression, select)
-        }
+        found: set[ObjectRef] = set()
+        for domain in self.router.domains:
+            select = (
+                f"select type from {domain} "
+                f"where type = 'process' and name = '{program}'"
+            )
+            found.update(
+                ObjectRef.from_item_name(name)
+                for name, _ in self._paged_query(domain, expression, select)
+            )
+        return found
 
     def _objects_with_inputs(self, inputs: set[ObjectRef]) -> set[tuple[ObjectRef, str]]:
-        """All items listing any of ``inputs`` as an input, with their type."""
+        """All items listing any of ``inputs`` as an input, with their type.
+
+        An item's ``input`` edges can point at objects on *other* shards,
+        so every chunk scatters across all domains and the matches are
+        gathered into one set.
+        """
         found: set[tuple[ObjectRef, str]] = set()
         ordered = sorted(inputs)
         for start in range(0, len(ordered), self.ref_batch):
@@ -249,22 +342,24 @@ class SimpleDBEngine(_Metered):
             disjunction = " or ".join(f"'input' = '{ref.encode()}'" for ref in chunk)
             expression = f"[{disjunction}]"
             in_list = ", ".join(f"'{ref.encode()}'" for ref in chunk)
-            select = f"select type from {self.domain} where input in ({in_list})"
-            for name, attrs in self._paged_query(expression, select):
-                kind = (attrs.get(Attr.TYPE) or ("file",))[0]
-                found.add((ObjectRef.from_item_name(name), kind))
+            for domain in self.router.domains:
+                select = f"select type from {domain} where input in ({in_list})"
+                for name, attrs in self._paged_query(domain, expression, select):
+                    kind = (attrs.get(Attr.TYPE) or ("file",))[0]
+                    found.add((ObjectRef.from_item_name(name), kind))
         return found
 
     def q2_outputs_of(self, program: str) -> QueryMeasurement:
-        """Files that are outputs of ``program`` — two indexed phases (§5)."""
-        before = self.account.meter.snapshot()
+        """Files that are outputs of ``program`` — two indexed phases (§5),
+        each phase scattered across every shard."""
+        before = self._begin()
         instances = self._find_program_instances(program)
         refs: set[ObjectRef] = set()
         if instances:
             refs = {
                 ref for ref, kind in self._objects_with_inputs(instances) if kind == "file"
             }
-        return self._measure(refs, before)
+        return self._measure_sharded(refs, before)
 
     # -- Q3 ------------------------------------------------------------------------------
 
@@ -274,8 +369,13 @@ class SimpleDBEngine(_Metered):
         "SimpleDB ... does not support recursive queries or stored
         procedures. Hence, for ancestry queries, it has to retrieve each
         item ... then lookup further ancestors." (§5)
+
+        Under sharding each BFS round scatters the frontier's reference
+        chunks across all shards and merges the children into the next
+        frontier before continuing — the frontier is global, the lookups
+        are per-shard.
         """
-        before = self.account.meter.snapshot()
+        before = self._begin()
         instances = self._find_program_instances(program)
         seeds = {
             ref for ref, kind in self._objects_with_inputs(instances) if kind == "file"
@@ -293,7 +393,7 @@ class SimpleDBEngine(_Metered):
                 frontier.add(ref)
                 if kind == "file":
                     results.add(ref)
-        return self._measure(results, before)
+        return self._measure_sharded(results, before)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,201 @@
+"""Sharded provenance domains: consistent-hash routing + rebalancing.
+
+The paper's §6 discussion concedes that one SimpleDB domain bounds both
+provenance capacity and query throughput. :class:`ShardRouter` lifts
+that limit by partitioning the provenance store across **N SimpleDB
+domains**, routed by a consistent hash of the object's *path* (its PASS
+file name) so that:
+
+* every version of one object lands on the same shard — Q1 lookups and
+  ``version_history`` stay single-shard no matter how large N grows;
+* growing N → N' (N ≥ 2) moves only the ``~(N'-N)/N'`` of the keyspace
+  claimed by the new shards — never a key between two surviving shards
+  (the consistent-hashing property :func:`rebalance` exploits). The one
+  exception is leaving the N=1 layout, which uses the original
+  single-domain name: every item migrates off ``pass-prov``;
+* with ``shards=1`` the router degenerates to the single paper domain
+  (:data:`DEFAULT_BASE_DOMAIN`) and every store/query code path is
+  byte-identical to the unsharded reproduction.
+
+Routing must be stable across processes and Python versions, so the hash
+is MD5 of the UTF-8 path — never the interpreter's randomised ``hash()``.
+
+Consistency caveats (documented here, tested in
+``tests/properties/test_prop_sharding.py``):
+
+* cross-shard queries (Q2/Q3 scatter-gather) offer no snapshot
+  isolation: each shard is read at its own replica time, exactly like
+  issuing the N queries by hand against N separate domains;
+* :func:`rebalance` copies through the public SimpleDB API, so it reads
+  replica state — run it after the cloud has quiesced (a maintenance
+  window) or orchestrate a double-write window around it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.passlib.records import ObjectRef
+from repro.units import SDB_MAX_ATTRS_PER_CALL
+
+#: The paper's single provenance domain (§4.2) — what ``shards=1`` uses.
+DEFAULT_BASE_DOMAIN = "pass-prov"
+
+#: Virtual nodes per shard on the hash ring. More vnodes → better
+#: balance; 384 keeps per-shard item counts within 2x of the mean (both
+#: directions) for the benchmark workloads at N=16, and a 16-shard ring
+#: is still only ~6K points.
+DEFAULT_VNODES = 384
+
+
+def _hash_point(text: str) -> int:
+    """Stable 64-bit ring position for ``text`` (MD5, not ``hash()``)."""
+    return int.from_bytes(
+        hashlib.md5(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRouter:
+    """Routes object paths to one of N provenance domains.
+
+    >>> router = ShardRouter(shards=1)
+    >>> router.domains
+    ('pass-prov',)
+    >>> router.domain_for("any/path")
+    'pass-prov'
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        base_domain: str = DEFAULT_BASE_DOMAIN,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = shards
+        self.base_domain = base_domain
+        self.vnodes = vnodes
+        if shards == 1:
+            # The unsharded paper deployment: one domain, original name,
+            # and no ring — domain_for short-circuits, so building one
+            # would be pure waste on the common default path.
+            self.domains: tuple[str, ...] = (base_domain,)
+            self._ring_points: list[int] = []
+            self._ring_domains: list[str] = []
+            return
+        self.domains = tuple(
+            f"{base_domain}-{index:02d}" for index in range(shards)
+        )
+        ring: list[tuple[int, str]] = []
+        for domain in self.domains:
+            for vnode in range(vnodes):
+                ring.append((_hash_point(f"{domain}#{vnode}"), domain))
+        ring.sort()
+        self._ring_points = [point for point, _ in ring]
+        self._ring_domains = [domain for _, domain in ring]
+
+    # -- routing ------------------------------------------------------------
+
+    def domain_for(self, path: str) -> str:
+        """The shard domain owning ``path`` (all versions of it)."""
+        if self.shards == 1:
+            return self.domains[0]
+        index = bisect.bisect_right(self._ring_points, _hash_point(path))
+        if index == len(self._ring_points):
+            index = 0  # wrap around the ring
+        return self._ring_domains[index]
+
+    def domain_for_ref(self, ref: ObjectRef) -> str:
+        return self.domain_for(ref.path)
+
+    def domain_for_item(self, item_name: str) -> str:
+        """Route a SimpleDB item name (``name_vNNNN``) to its shard."""
+        return self.domain_for(ObjectRef.from_item_name(item_name).path)
+
+    def shard_index(self, path: str) -> int:
+        """Ordinal of the shard owning ``path`` (for skew statistics)."""
+        return self.domains.index(self.domain_for(path))
+
+    # -- provisioning / introspection --------------------------------------
+
+    def provision(self, simpledb) -> None:
+        """CreateDomain for every shard (idempotent, like the service)."""
+        for domain in self.domains:
+            simpledb.create_domain(domain)
+
+    def item_counts(self, simpledb) -> dict[str, int]:
+        """Authoritative items per shard (storage-skew reporting)."""
+        return {domain: simpledb.item_count(domain) for domain in self.domains}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardRouter(shards={self.shards}, "
+            f"base_domain={self.base_domain!r})"
+        )
+
+
+@dataclass
+class RebalanceReport:
+    """What a shard rebalance did (counters for tests and operators)."""
+
+    items_scanned: int = 0
+    items_moved: int = 0
+    items_kept: int = 0
+    moves_by_domain: dict[str, int] = field(default_factory=dict)
+
+
+def rebalance(
+    simpledb,
+    source: ShardRouter,
+    target: ShardRouter,
+    put_batch: int = SDB_MAX_ATTRS_PER_CALL,
+) -> RebalanceReport:
+    """Move every provenance item from ``source``'s layout to ``target``'s.
+
+    Walks each source domain through the public query API, re-puts items
+    whose owning shard changed, and deletes them from the old shard.
+    Values are copied verbatim (multi-valued attributes included), so the
+    union of all bundles is preserved exactly — the round-trip invariant
+    the property suite checks. PutAttributes' set-merge semantics make a
+    re-run after a crash idempotent.
+
+    Consistency caveat: reads go through replicas; rebalance during a
+    write-quiet window (or quiesce the simulated cloud first).
+    """
+    report = RebalanceReport()
+    target.provision(simpledb)
+    for source_domain in source.domains:
+        token: str | None = None
+        while True:
+            page = simpledb.query_with_attributes(
+                source_domain, None, next_token=token
+            )
+            for item_name, attrs in page.items:
+                report.items_scanned += 1
+                target_domain = target.domain_for_item(item_name)
+                if target_domain == source_domain:
+                    report.items_kept += 1
+                    continue
+                pairs = [
+                    (attribute, value)
+                    for attribute in sorted(attrs)
+                    for value in attrs[attribute]
+                ]
+                for start in range(0, len(pairs), put_batch):
+                    simpledb.put_attributes(
+                        target_domain, item_name, pairs[start : start + put_batch]
+                    )
+                simpledb.delete_attributes(source_domain, item_name)
+                report.items_moved += 1
+                report.moves_by_domain[target_domain] = (
+                    report.moves_by_domain.get(target_domain, 0) + 1
+                )
+            token = page.next_token
+            if token is None:
+                break
+    return report

@@ -28,6 +28,7 @@ from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
 from repro.core.s3_standalone import S3Standalone
 from repro.passlib.records import FlushEvent
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
+from repro.sharding import ShardRouter
 from repro.workloads.base import TraceStats, Workload
 
 _FACTORIES = {
@@ -48,6 +49,7 @@ class Simulation:
         faults: FaultPlan = NO_FAULTS,
         retry_attempts: int = 10,
         pump_every: int = 25,
+        shards: int = 1,
         **architecture_kwargs,
     ):
         if architecture not in _FACTORIES:
@@ -64,6 +66,10 @@ class Simulation:
             attempts=retry_attempts,
             wait=lambda: self.account.clock.advance(0.5),
         )
+        if architecture_kwargs.get("router") is None:
+            architecture_kwargs["router"] = ShardRouter(shards)
+        elif shards != 1:
+            raise ValueError("pass shards=N or router=..., not both")
         self.store: ProvenanceCloudStore = _FACTORIES[architecture](
             self.account, faults=faults, retry=retry, **architecture_kwargs
         )
@@ -130,10 +136,14 @@ class Simulation:
         return self.store.read(name, version)
 
     def query_engine(self):
-        """The Table 3 query engine matching this architecture."""
+        """The Table 3 query engine matching this architecture.
+
+        SimpleDB engines share the store's shard router, so queries
+        scatter-gather across exactly the domains the store wrote.
+        """
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
-        return SimpleDBEngine(self.account)
+        return SimpleDBEngine(self.account, router=self.store.router)
 
     def scan_engine(self) -> S3ScanEngine:
         """An S3-scan engine (for apples-to-apples comparisons)."""

@@ -1,8 +1,22 @@
-"""Shared fixtures: accounts, architectures, and miniature traces."""
+"""Shared fixtures: accounts, architectures, and miniature traces.
+
+Also registers the hypothesis profiles the Makefile and CI select via
+``HYPOTHESIS_PROFILE``: ``ci`` is derandomized (reproducible across
+workers and reruns), ``dev`` trades examples for speed, and the
+hypothesis default applies when the variable is unset.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+settings.register_profile("ci", max_examples=60, deadline=None, derandomize=True)
+settings.register_profile("dev", max_examples=20, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 from repro.aws.account import AWSAccount, ConsistencyConfig
 from repro.blob import BytesBlob

@@ -1,0 +1,156 @@
+"""Property tests: sharding is invisible to query results.
+
+Two invariants, hammered over randomly generated provenance workloads:
+
+* **scatter-gather equivalence** — for any shard count N, Q1/Q2/Q3
+  against the N-way sharded domain return exactly the result sets of the
+  unsharded (N=1) baseline; only the operation counts differ;
+* **rebalance round-trip** — re-sharding a populated deployment from N
+  to N' moves items between domains but preserves every item (name and
+  attribute values) exactly, and lands each item on the domain the new
+  router routes it to.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.passlib.capture import PassSystem
+from repro.sharding import ShardRouter, rebalance
+from repro.sim import Simulation
+
+
+def random_workload(rng: random.Random, n_stages: int):
+    """A random multi-stage pipeline: stage i reads earlier outputs.
+
+    Object paths draw from a small alphabet with nested directories so
+    different names routinely collide onto (and split across) shards.
+    """
+    pas = PassSystem(workload="prop-shard")
+    pas.stage_input("in/seed.dat", b"seed")
+    outputs = ["in/seed.dat"]
+    for stage in range(n_stages):
+        program = rng.choice(["blast", "align", "merge"])
+        with pas.process(program, argv=f"--stage {stage}") as proc:
+            for source in rng.sample(outputs, k=min(len(outputs), 1 + rng.randrange(2))):
+                proc.read(source)
+            path = f"out/{rng.choice('abc')}/{stage:02d}.dat"
+            proc.write(path, f"{program}:{stage}".encode())
+            proc.close(path)
+            outputs.append(path)
+    return list(pas.drain_flushes())
+
+
+def loaded_simulation(events, shards: int) -> Simulation:
+    sim = Simulation(architecture="s3+simpledb", seed=99, shards=shards)
+    sim.store_events(events, collect=False)
+    return sim
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_stages=st.integers(min_value=1, max_value=8),
+    shards=st.integers(min_value=2, max_value=6),
+)
+def test_sharded_queries_equal_unsharded_baseline(seed, n_stages, shards):
+    events = random_workload(random.Random(seed), n_stages)
+    baseline = loaded_simulation(events, shards=1)
+    sharded = loaded_simulation(events, shards=shards)
+    base_engine = baseline.query_engine()
+    shard_engine = sharded.query_engine()
+
+    for program in ("blast", "align", "merge"):
+        assert set(shard_engine.q2_outputs_of(program).refs) == set(
+            base_engine.q2_outputs_of(program).refs
+        )
+        assert set(shard_engine.q3_descendants_of(program).refs) == set(
+            base_engine.q3_descendants_of(program).refs
+        )
+    assert set(shard_engine.q1_all().refs) == set(base_engine.q1_all().refs)
+    for event in events:
+        base_q1 = base_engine.q1(event.subject)
+        shard_q1 = shard_engine.q1(event.subject)
+        assert set(shard_q1.refs) == set(base_q1.refs)
+        # Q1 routes to one shard: its cost must not grow with N.
+        assert shard_q1.operations == base_q1.operations
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_stages=st.integers(min_value=1, max_value=8),
+    n_before=st.integers(min_value=1, max_value=6),
+    n_after=st.integers(min_value=1, max_value=6),
+)
+def test_rebalance_round_trip_preserves_every_bundle(seed, n_stages, n_before, n_after):
+    events = random_workload(random.Random(seed), n_stages)
+    sim = loaded_simulation(events, shards=n_before)
+    simpledb = sim.account.simpledb
+    source = sim.store.router
+    target = ShardRouter(n_after)
+
+    def snapshot(router):
+        return {
+            item_name: simpledb.authoritative_item(domain, item_name)
+            for domain in router.domains
+            for item_name in simpledb.authoritative_item_names(domain)
+        }
+
+    before = snapshot(source)
+    sim.account.quiesce()
+    report = rebalance(simpledb, source, target)
+    after = snapshot(target)
+
+    assert after == before  # every item survives, values verbatim
+    assert report.items_scanned == len(before)
+    assert report.items_moved + report.items_kept == report.items_scanned
+    for item_name in after:
+        owner = target.domain_for_item(item_name)
+        assert item_name in simpledb.authoritative_item_names(owner)
+
+    # The rebalanced layout answers queries identically to a fresh load.
+    from repro.query.engine import SimpleDBEngine
+
+    rebalanced_engine = SimpleDBEngine(sim.account, router=target)
+    control = loaded_simulation(events, shards=1).query_engine()
+    assert set(rebalanced_engine.q3_descendants_of("blast").refs) == set(
+        control.q3_descendants_of("blast").refs
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    path=st.text(
+        alphabet="abcdefgh/._-0123456789", min_size=1, max_size=40
+    ).filter(lambda p: p.strip()),
+    shards=st.integers(min_value=1, max_value=32),
+)
+def test_routing_is_deterministic_and_total(path, shards):
+    router = ShardRouter(shards)
+    again = ShardRouter(shards)
+    domain = router.domain_for(path)
+    assert domain in router.domains
+    assert again.domain_for(path) == domain  # stable across instances
+    assert router.shard_index(path) == router.domains.index(domain)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_before=st.integers(min_value=1, max_value=8),
+    extra=st.integers(min_value=1, max_value=8),
+)
+def test_growing_the_ring_only_sheds_keys(n_before, extra):
+    """Consistent hashing: going N → N+k never moves a key between two
+    surviving shards — keys either stay put or move to a new shard."""
+    small = ShardRouter(n_before)
+    big = ShardRouter(n_before + extra)
+    surviving = set(small.domains) & set(big.domains)
+    for index in range(200):
+        path = f"dir{index % 7}/file-{index:03d}.dat"
+        before = small.domain_for(path)
+        after = big.domain_for(path)
+        if before in surviving and after in surviving:
+            assert after == before

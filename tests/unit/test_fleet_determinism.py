@@ -1,0 +1,72 @@
+"""Fleet runs are a pure function of their seed.
+
+Every random choice a fleet makes flows from its own seeded
+``random.Random`` stream (and the account's seeded RNG family) — never
+from the module-level ``random`` state, which other tests or
+pytest-xdist workers would perturb. Regression: same seed ⇒ identical
+meter totals, even with the global RNG scrambled between runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fleet import ClientFleet
+from repro.passlib.capture import PassSystem
+
+
+def pipeline_traces(n_labs: int = 3):
+    traces = []
+    for lab in range(n_labs):
+        pas = PassSystem(workload=f"det-lab{lab}")
+        pas.stage_input(f"lab{lab}/in.dat", f"lab{lab}".encode())
+        events = list(pas.drain_flushes())
+        for stage in range(3):
+            with pas.process("crunch", argv=f"--stage {stage}") as proc:
+                proc.read(f"lab{lab}/in.dat")
+                proc.write(f"lab{lab}/out/{stage}.dat", f"{lab}:{stage}".encode())
+                proc.close(f"lab{lab}/out/{stage}.dat")
+            events.extend(pas.drain_flushes())
+        traces.append(events)
+    return traces
+
+
+def run_fleet(seed: int, shards: int = 2):
+    fleet = ClientFleet(
+        n_clients=4, architecture="s3+simpledb+sqs", seed=seed, shards=shards
+    )
+    assigned = fleet.scatter(pipeline_traces())
+    fleet.run_round_robin(batch=2)
+    usage = fleet.account.meter.snapshot()
+    return assigned, usage
+
+
+def test_same_seed_identical_meter_totals():
+    assigned_a, usage_a = run_fleet(seed=17)
+    # Scramble the global RNG between runs: a fleet leaning on module
+    # state (the pytest-xdist hazard) would diverge here.
+    random.seed("adversarial interleaving")
+    random.random()
+    assigned_b, usage_b = run_fleet(seed=17)
+
+    assert assigned_a == assigned_b
+    assert usage_a.requests == usage_b.requests
+    assert usage_a.bytes_in == usage_b.bytes_in
+    assert usage_a.bytes_out == usage_b.bytes_out
+    assert usage_a.stored_bytes == usage_b.stored_bytes
+    assert usage_a.box_usage_hours == usage_b.box_usage_hours
+
+
+def test_different_seed_changes_scatter():
+    assigned_a, _ = run_fleet(seed=17)
+    assigned_b, _ = run_fleet(seed=18)
+    # Not a hard guarantee for any pair of seeds, but these two differ —
+    # locking in that the seed actually reaches the scatter decisions.
+    assert assigned_a != assigned_b
+
+
+def test_scatter_is_deterministic_without_running():
+    fleet_a = ClientFleet(n_clients=5, architecture="s3+simpledb", seed=9)
+    fleet_b = ClientFleet(n_clients=5, architecture="s3+simpledb", seed=9)
+    traces = pipeline_traces(n_labs=5)
+    assert fleet_a.scatter(traces) == fleet_b.scatter(traces)
