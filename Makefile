@@ -20,7 +20,8 @@ test-fast:
 
 bench-smoke:
 	$(BENCH) -q -x --benchmark-disable \
-		bench_sharding_scaleout.py bench_table3_query.py
+		bench_sharding_scaleout.py bench_concurrent_gather.py \
+		bench_table3_query.py
 
 bench:
 	$(BENCH) -q

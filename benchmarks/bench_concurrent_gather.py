@@ -1,0 +1,140 @@
+"""Concurrent scatter-gather — critical-path latency vs. shard count.
+
+PR 1's sharding made Q2/Q3 scatter every phase across all N domains
+*sequentially*, so modeled query latency grew linearly in N even though
+the per-shard request streams are independent. The concurrent dispatcher
+sends each wave of streams through a bounded worker pool; this benchmark
+loads the same live trace at N ∈ {1, 4, 16} and compares, per query:
+
+* **sequential latency** — the one-request-at-a-time sum (what a
+  single-threaded client pays; grows with N);
+* **critical path** — the modeled makespan of the concurrent dispatch
+  (stays roughly flat in N: each phase costs ~the slowest shard).
+
+Total operation counts must match the sequential run *exactly* (the
+dispatcher only reorders independent requests) and result sets must be
+identical at every N and in both modes.
+"""
+
+import pytest
+
+from repro.analysis.report import TextTable
+from repro.query.engine import SimpleDBEngine
+from repro.sim import Simulation
+
+from conftest import save_result
+
+SHARD_COUNTS = (1, 4, 16)
+#: Pool width for the concurrent engines — wide enough that every shard
+#: stream of the largest layout gets its own worker.
+POOL = 16
+PROGRAM = "blast"
+
+
+@pytest.fixture(scope="module")
+def gather_sims(live_events):
+    sims = {}
+    for shards in SHARD_COUNTS:
+        sim = Simulation(architecture="s3+simpledb", seed=29, shards=shards)
+        sim.store_events(live_events, collect=False)
+        sims[shards] = sim
+    return sims
+
+
+@pytest.fixture(scope="module")
+def gather_rows(gather_sims):
+    rows = {}
+    for shards, sim in gather_sims.items():
+        sequential = SimpleDBEngine(
+            sim.account, router=sim.store.router, concurrency=1
+        )
+        concurrent = SimpleDBEngine(
+            sim.account, router=sim.store.router, concurrency=POOL
+        )
+        rows[shards] = {
+            "q2_seq": sequential.q2_outputs_of(PROGRAM),
+            "q2_conc": concurrent.q2_outputs_of(PROGRAM),
+            "q3_seq": sequential.q3_descendants_of(PROGRAM),
+            "q3_conc": concurrent.q3_descendants_of(PROGRAM),
+        }
+    return rows
+
+
+def test_concurrent_gather_table(benchmark, gather_sims, gather_rows, live_events):
+    benchmark(
+        SimpleDBEngine(
+            gather_sims[16].account,
+            router=gather_sims[16].store.router,
+            concurrency=POOL,
+        ).q2_outputs_of,
+        PROGRAM,
+    )
+    table = TextTable(
+        ["shards", "Q2 ops", "Q2 seq ms", "Q2 crit ms", "Q2 speedup",
+         "Q3 ops", "Q3 seq ms", "Q3 crit ms", "Q3 speedup"],
+        title=(
+            f"Concurrent scatter-gather ({len(live_events)}-object repository, "
+            f"pool={POOL}, queries on {PROGRAM!r})"
+        ),
+    )
+    for shards in SHARD_COUNTS:
+        rows = gather_rows[shards]
+        table.add_row(
+            shards,
+            rows["q2_conc"].operations,
+            f"{rows['q2_seq'].latency * 1000:.0f}",
+            f"{rows['q2_conc'].latency * 1000:.0f}",
+            f"{rows['q2_conc'].speedup:.2f}x",
+            rows["q3_conc"].operations,
+            f"{rows['q3_seq'].latency * 1000:.0f}",
+            f"{rows['q3_conc'].latency * 1000:.0f}",
+            f"{rows['q3_conc'].speedup:.2f}x",
+        )
+    save_result("concurrent_gather", table.render())
+
+
+def test_operations_match_sequential_exactly(gather_rows):
+    for shards in SHARD_COUNTS:
+        rows = gather_rows[shards]
+        for query in ("q2", "q3"):
+            seq, conc = rows[f"{query}_seq"], rows[f"{query}_conc"]
+            assert conc.operations == seq.operations
+            assert conc.bytes_out == seq.bytes_out
+            assert conc.per_shard == seq.per_shard
+            assert conc.refs == seq.refs
+
+
+def test_results_identical_across_shard_counts(gather_rows):
+    for query in ("q2_conc", "q3_conc"):
+        baseline = set(gather_rows[1][query].refs)
+        for shards in SHARD_COUNTS[1:]:
+            assert set(gather_rows[shards][query].refs) == baseline
+
+
+def test_sequential_latency_grows_with_shards(gather_rows):
+    for query in ("q2", "q3"):
+        seq = [gather_rows[s][f"{query}_seq"].latency for s in SHARD_COUNTS]
+        assert seq == sorted(seq), f"{query} sequential latency not monotone"
+        # Scatter multiplies request fan-out by N: the one-at-a-time cost
+        # at N=16 is far above the single-domain run.
+        assert seq[-1] >= 2.0 * seq[0]
+
+
+def test_critical_path_stays_roughly_flat(gather_rows):
+    for query in ("q2", "q3"):
+        flat = [gather_rows[s][f"{query}_conc"].latency for s in SHARD_COUNTS]
+        seq16 = gather_rows[16][f"{query}_seq"].latency
+        # Phases cost ~their slowest shard: growing N 16x may not grow
+        # the critical path more than ~2x (vs 16x for the sum) ...
+        assert max(flat) <= 2.0 * flat[0] + 1e-9, f"{query}: {flat}"
+        # ... and at N=16 the dispatcher must beat one-at-a-time handily.
+        assert flat[-1] <= 0.5 * seq16, f"{query}: {flat[-1]} vs {seq16}"
+
+
+def test_per_shard_accounting_exact_under_concurrency(gather_rows):
+    for shards in SHARD_COUNTS:
+        for query in ("q2_conc", "q3_conc"):
+            m = gather_rows[shards][query]
+            assert sum(ops for _, ops, _ in m.per_shard) == m.operations
+            assert sum(nbytes for _, _, nbytes in m.per_shard) == m.bytes_out
+            assert len(m.per_shard) <= shards

@@ -24,10 +24,14 @@ Prices follow the figures quoted in §2 of the paper (January 2009):
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.clock import SimClock
+from repro.concurrency import new_lock, synchronized
 from repro.units import GB, SECONDS_PER_MONTH
 
 # Service identifiers used as meter keys.
@@ -129,6 +133,51 @@ class Usage:
         )
 
 
+class MeterScope:
+    """A scoped accumulation of metered activity — one shard's spend.
+
+    Created by :meth:`Meter.scoped`. While the scope is active, every
+    request/transfer/box-usage record made *by the entering thread* is
+    credited to the scope as well as to the meter's global totals. This
+    is how the sharded query engine attributes spend to individual shard
+    request streams even when many streams run concurrently: snapshot
+    deltas would interleave across threads, but a scope only ever sees
+    its own thread's records, so per-shard scopes sum exactly to the
+    query's global meter delta.
+
+    Storage levels (byte-seconds) are deliberately not scoped — queries
+    do not change stored state, and a per-thread view of an integrated
+    global level would be meaningless.
+    """
+
+    __slots__ = ("_requests", "_bytes_in", "_bytes_out", "_box_usage_hours")
+
+    def __init__(self) -> None:
+        self._requests: Counter[tuple[str, str]] = Counter()
+        self._bytes_in: Counter[str] = Counter()
+        self._bytes_out: Counter[str] = Counter()
+        self._box_usage_hours = 0.0
+
+    def usage(self) -> Usage:
+        """The scope's accumulated activity as an immutable snapshot."""
+        return Usage(
+            requests=tuple(sorted(self._requests.items())),
+            bytes_in=tuple(sorted(self._bytes_in.items())),
+            bytes_out=tuple(sorted(self._bytes_out.items())),
+            byte_seconds=(),
+            stored_bytes=(),
+            box_usage_hours=self._box_usage_hours,
+        )
+
+    # Convenience accessors mirroring Usage (hot path for per-shard triples).
+
+    def request_count(self) -> int:
+        return sum(self._requests.values())
+
+    def transfer_out(self) -> int:
+        return sum(self._bytes_out.values())
+
+
 class Meter:
     """Accumulates requests, transfer bytes, and storage byte-seconds.
 
@@ -136,6 +185,11 @@ class Meter:
     service's stored-byte total changes, the previous level is multiplied
     by the elapsed simulated time, giving exact GB-month figures for any
     billing window.
+
+    The meter is thread-safe: all mutation and snapshotting is
+    serialised behind one lock, so concurrent scatter-gather workers can
+    never lose or double-count a record. :meth:`scoped` additionally
+    opens a per-thread accounting scope (see :class:`MeterScope`).
     """
 
     def __init__(self, clock: SimClock):
@@ -147,26 +201,68 @@ class Meter:
         self._byte_seconds: dict[str, float] = {}
         self._last_update: dict[str, float] = {}
         self._box_usage_hours = 0.0
+        self._lock = new_lock()
+        self._scope_local = threading.local()
+
+    # -- scoped accounting -----------------------------------------------
+
+    def _scope_stack(self) -> list[MeterScope]:
+        stack = getattr(self._scope_local, "stack", None)
+        if stack is None:
+            stack = self._scope_local.stack = []
+        return stack
+
+    @contextmanager
+    def scoped(self) -> Iterator[MeterScope]:
+        """Attribute this thread's records to a fresh scope while active.
+
+        Scopes nest: an inner scope's records are also credited to the
+        enclosing one. Records made by *other* threads are never seen —
+        each concurrent worker opens its own scope.
+        """
+        scope = MeterScope()
+        stack = self._scope_stack()
+        stack.append(scope)
+        try:
+            yield scope
+        finally:
+            stack.pop()
 
     # -- recording -------------------------------------------------------
 
+    @synchronized
     def record_request(self, service: str, op: str, count: int = 1) -> None:
         self._requests[(service, op)] += count
+        box_hours = 0.0
         if service == SDB:
-            self._box_usage_hours += SDB_BOX_USAGE_HOURS.get(op, 1.0e-5) * count
+            box_hours = SDB_BOX_USAGE_HOURS.get(op, 1.0e-5) * count
+            self._box_usage_hours += box_hours
+        for scope in self._scope_stack():
+            scope._requests[(service, op)] += count
+            scope._box_usage_hours += box_hours
 
+    @synchronized
     def record_transfer_in(self, service: str, nbytes: int) -> None:
         if nbytes:
             self._bytes_in[service] += nbytes
+            for scope in self._scope_stack():
+                scope._bytes_in[service] += nbytes
 
+    @synchronized
     def record_transfer_out(self, service: str, nbytes: int) -> None:
         if nbytes:
             self._bytes_out[service] += nbytes
+            for scope in self._scope_stack():
+                scope._bytes_out[service] += nbytes
 
+    @synchronized
     def record_box_usage(self, hours: float) -> None:
         """Add explicit SimpleDB machine time (e.g. for expensive scans)."""
         self._box_usage_hours += hours
+        for scope in self._scope_stack():
+            scope._box_usage_hours += hours
 
+    @synchronized
     def adjust_stored(self, service: str, delta_bytes: int) -> None:
         """Change a service's stored-byte level, integrating time first."""
         self._integrate(service)
@@ -188,6 +284,7 @@ class Meter:
 
     # -- reading ----------------------------------------------------------
 
+    @synchronized
     def snapshot(self) -> Usage:
         for service in list(self._stored):
             self._integrate(service)
@@ -200,6 +297,7 @@ class Meter:
             box_usage_hours=self._box_usage_hours,
         )
 
+    @synchronized
     def stored_bytes(self, service: str) -> int:
         """Current stored-byte level for a service."""
         return self._stored[service]

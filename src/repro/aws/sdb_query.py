@@ -50,6 +50,18 @@ _COMPARATORS: dict[str, Callable[[str, str], bool]] = {
 }
 
 
+def quote_literal(value: str) -> str:
+    """Render ``value`` as a quoted string literal for either language.
+
+    Both the bracket Query language and SELECT escape an embedded
+    apostrophe by doubling it (``'`` → ``''`` — see the tokenizer's
+    string pattern). Every caller that interpolates user-controlled text
+    (object paths, program names) into a query must route it through
+    here, or a name like ``o'brien`` breaks the expression.
+    """
+    return "'" + value.replace("'", "''") + "'"
+
+
 # ---------------------------------------------------------------------------
 # Tokenizer (shared by both languages)
 # ---------------------------------------------------------------------------

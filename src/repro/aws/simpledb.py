@@ -39,6 +39,7 @@ from repro.aws.sdb_query import (
     run_query,
 )
 from repro.clock import SimClock
+from repro.concurrency import new_lock, synchronized
 
 #: Items an attribute map: name -> tuple of distinct values (sorted).
 ItemState = dict[str, tuple[str, ...]]
@@ -121,9 +122,14 @@ class SimpleDBService:
         # Authoritative attribute state used for read-modify-write; the
         # ReplicaSet holds copies for eventually consistent reads.
         self._authority: dict[str, dict[str, ItemState]] = {}
+        # Serialises the public API: concurrent scatter-gather workers
+        # observe each request as atomic, exactly as the single-threaded
+        # simulation always has (see repro.concurrency).
+        self._lock = new_lock()
 
     # -- domain management --------------------------------------------------
 
+    @synchronized
     def create_domain(self, name: str) -> None:
         """Create a domain. Idempotent, as in real SimpleDB."""
         self._request("CreateDomain")
@@ -133,6 +139,7 @@ class SimpleDBService:
             )
             self._authority[name] = {}
 
+    @synchronized
     def delete_domain(self, name: str) -> None:
         self._request("DeleteDomain")
         self._domains.pop(name, None)
@@ -141,6 +148,7 @@ class SimpleDBService:
             freed = sum(_attr_size(state) for state in removed.values())
             self._meter.adjust_stored(billing.SDB, -freed)
 
+    @synchronized
     def list_domains(self) -> list[str]:
         self._request("ListDomains")
         return sorted(self._domains)
@@ -153,6 +161,7 @@ class SimpleDBService:
 
     # -- writes ---------------------------------------------------------------
 
+    @synchronized
     def put_attributes(
         self,
         domain: str,
@@ -207,6 +216,7 @@ class SimpleDBService:
         authority[item_name] = state
         store.write(item_name, dict(state))
 
+    @synchronized
     def delete_attributes(
         self,
         domain: str,
@@ -254,6 +264,7 @@ class SimpleDBService:
 
     # -- reads -----------------------------------------------------------------
 
+    @synchronized
     def get_attributes(
         self,
         domain: str,
@@ -270,6 +281,7 @@ class SimpleDBService:
         self._meter.record_transfer_out(billing.SDB, _attr_size(state))
         return dict(state)
 
+    @synchronized
     def query(
         self,
         domain: str,
@@ -285,6 +297,7 @@ class SimpleDBService:
         self._meter.record_transfer_out(billing.SDB, sum(len(n) for n in names))
         return QueryResult(item_names=names, next_token=token)
 
+    @synchronized
     def query_with_attributes(
         self,
         domain: str,
@@ -308,6 +321,7 @@ class SimpleDBService:
         self._meter.record_transfer_out(billing.SDB, out_bytes)
         return QueryWithAttributesResult(items=tuple(projected), next_token=token)
 
+    @synchronized
     def select(
         self,
         statement: str | SelectStatement,
@@ -336,13 +350,16 @@ class SimpleDBService:
 
     # -- oracle helpers (tests/recovery scans) ----------------------------------
 
+    @synchronized
     def authoritative_item(self, domain: str, item_name: str) -> ItemState | None:
         state = self._authority.get(domain, {}).get(item_name)
         return dict(state) if state is not None else None
 
+    @synchronized
     def authoritative_item_names(self, domain: str) -> list[str]:
         return sorted(self._authority.get(domain, {}))
 
+    @synchronized
     def item_count(self, domain: str) -> int:
         """Authoritative number of items (used by the analysis module)."""
         return len(self._authority.get(domain, {}))

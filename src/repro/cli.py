@@ -151,7 +151,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim import Simulation
 
     sim = Simulation(architecture=args.architecture or "s3+simpledb+sqs",
-                     seed=args.seed, shards=args.shards)
+                     seed=args.seed, shards=args.shards,
+                     concurrency=args.concurrency)
     if args.shards > 1:
         if sim.architecture == "s3":
             print("note: --shards has no effect on the s3 architecture "
@@ -173,15 +174,40 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"read back {result.subject.encode()} consistent={result.consistent}")
     for record in result.bundle.records:
         print(f"  {record}")
+    if sim.architecture != "s3":
+        engine = sim.query_engine()
+        outputs = engine.q2_outputs_of("analyze")
+        # The engine resolves the effective pool width (argument or the
+        # REPRO_QUERY_CONCURRENCY environment default).
+        mode = (
+            f"concurrency={engine.concurrency}"
+            if engine.concurrency > 1
+            else "sequential"
+        )
+        print(
+            f"Q2 outputs-of(analyze): {outputs.result_count} file(s), "
+            f"{outputs.operations} ops, modeled latency "
+            f"{outputs.latency * 1000:.0f} ms ({mode}; one-at-a-time "
+            f"{outputs.sequential_latency * 1000:.0f} ms)"
+        )
     print(sim.bill())
     return 0
 
 
-def _shard_count(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"shard count must be >= 1, got {value}")
-    return value
+def _positive_int(noun: str):
+    """An argparse type validating an int >= 1, naming ``noun`` on error."""
+
+    def parse(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"{noun} must be >= 1, got {value}")
+        return value
+
+    return parse
+
+
+_shard_count = _positive_int("shard count")
+_worker_count = _positive_int("concurrency")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=_shard_count, default=1,
         help="split the provenance domain across N SimpleDB domains "
         "(consistent-hash routed; default 1, the paper's layout)",
+    )
+    demo.add_argument(
+        "--concurrency", type=_worker_count, default=None,
+        help="scatter-gather worker-pool width for queries (default 1 = "
+        "sequential; N>1 dispatches per-shard streams in parallel)",
     )
     demo.set_defaults(handler=cmd_demo)
 

@@ -1,0 +1,53 @@
+"""Thread-safety primitives for the simulated cloud.
+
+The simulation was born single-threaded: one client, one manually
+advanced :class:`~repro.clock.SimClock`, services mutating plain dicts.
+The concurrent scatter-gather executor (``repro.query.engine``) breaks
+that assumption — per-shard request streams run on a bounded worker
+pool, so every piece of shared simulation state the workers touch
+(service stores, the billing meter, the clock's event heap) must be
+guarded.
+
+The locking model is deliberately coarse: each service serialises its
+public API behind one re-entrant lock (:func:`synchronized`). Requests
+therefore execute atomically, exactly as they did when the simulation
+was single-threaded — the *modeled* latency of a concurrent query comes
+from the engine's latency model, not from real parallel execution, so
+coarse locks cost nothing while guaranteeing that interleavings can
+never corrupt replica state or double-count the meter.
+
+Lock ordering: service lock → meter lock → (no further locks). The
+clock's event-heap lock is leaf-level too; ``SimClock.now`` is read
+without a lock (a CPython float load is atomic) so meter integration
+never takes the clock lock while holding the meter lock.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def synchronized(method: F) -> F:
+    """Serialise a method behind its instance's ``_lock`` (an RLock).
+
+    The decorated class must create ``self._lock = threading.RLock()``
+    in ``__init__`` before any decorated method runs. Re-entrant so a
+    public method may call another public method of the same object.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]
+
+
+def new_lock() -> threading.RLock:
+    """A fresh re-entrant lock (kept here so services avoid importing
+    ``threading`` just for one constructor)."""
+    return threading.RLock()

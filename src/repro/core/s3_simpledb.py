@@ -55,7 +55,12 @@ from repro.passlib.records import (
     ProvenanceBundle,
     consistency_token,
 )
-from repro.passlib.serializer import SdbItemPayload, bundle_from_item, to_simpledb_items
+from repro.passlib.serializer import (
+    SdbItemPayload,
+    bundle_from_item,
+    parse_nonce,
+    to_simpledb_items,
+)
 
 
 class S3SimpleDB(ProvenanceCloudStore):
@@ -131,7 +136,10 @@ class S3SimpleDB(ProvenanceCloudStore):
         nonce = data.metadata.get("nonce")
         if nonce is None:
             raise ReadCorrectnessViolation(f"{name}: S3 object carries no nonce")
-        subject = ObjectRef(name, int(nonce.lstrip("v")))
+        version = parse_nonce(nonce)
+        if version is None:
+            raise ReadCorrectnessViolation(f"{name}: malformed nonce {nonce!r}")
+        subject = ObjectRef(name, version)
         attrs = self.account.simpledb.get_attributes(
             self.router.domain_for(name), subject.item_name
         )
@@ -246,8 +254,10 @@ class S3SimpleDB(ProvenanceCloudStore):
             head = self.account.s3.head(DATA_BUCKET, data_key(subject.name))
         except NoSuchKey:
             return True
-        nonce = head.metadata.get("nonce", "v0000")
-        return int(nonce.lstrip("v")) < subject.version
+        version = parse_nonce(head.metadata.get("nonce", "v0000"))
+        # A malformed nonce is corruption, not proof the data is older
+        # than the item: never garbage-collect provenance on its say-so.
+        return version is not None and version < subject.version
 
     # -- diagram (Figure 2) ---------------------------------------------------------------
 

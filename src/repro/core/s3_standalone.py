@@ -51,6 +51,7 @@ from repro.passlib.records import FlushEvent, ObjectRef
 from repro.passlib.serializer import (
     S3MetadataPayload,
     bundles_from_s3_metadata,
+    parse_nonce,
     to_s3_metadata,
 )
 
@@ -130,7 +131,10 @@ class S3Standalone(ProvenanceCloudStore):
 
     def _decode(self, name: str, metadata: dict[str, str]):
         nonce = metadata.get("nonce", "v0001")
-        subject = ObjectRef(name, int(nonce.lstrip("v")))
+        version = parse_nonce(nonce)
+        if version is None:
+            raise ReadCorrectnessViolation(f"{name}: malformed nonce {nonce!r}")
+        subject = ObjectRef(name, version)
 
         def fetch_overflow(key: str) -> str:
             blob_result = self.account.s3.get(DATA_BUCKET, key)
@@ -144,7 +148,10 @@ class S3Standalone(ProvenanceCloudStore):
         self.provision()
         result = self.account.s3.get(DATA_BUCKET, data_key(name))
         nonce = result.metadata.get("nonce", "v0001")
-        subject = ObjectRef(name, int(nonce.lstrip("v")))
+        version = parse_nonce(nonce)
+        if version is None:
+            raise ReadCorrectnessViolation(f"{name}: malformed nonce {nonce!r}")
+        subject = ObjectRef(name, version)
 
         def fetch_overflow(key: str) -> str:
             return self.account.s3.get(DATA_BUCKET, key).bytes().decode("utf-8")

@@ -62,6 +62,7 @@ class ClientFleet:
         seed: int = 0,
         consistency: ConsistencyConfig | None = None,
         shards: int = 1,
+        concurrency: int | None = None,
     ):
         if architecture not in _FACTORIES:
             raise ValueError(f"unknown architecture {architecture!r}")
@@ -75,6 +76,9 @@ class ClientFleet:
         self._rng = random.Random(f"fleet:{seed}")
         #: All clients share one shard layout of the provenance domain.
         self.router = ShardRouter(shards)
+        #: Worker-pool width for shared query engines (None → sequential
+        #: or the ``REPRO_QUERY_CONCURRENCY`` environment override).
+        self.concurrency = concurrency
         self.clients: dict[str, FleetClient] = {}
         for index in range(n_clients):
             self._spawn(f"client-{index}")
@@ -185,7 +189,9 @@ class ClientFleet:
     def query_engine(self):
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
-        return SimpleDBEngine(self.account, router=self.router)
+        return SimpleDBEngine(
+            self.account, router=self.router, concurrency=self.concurrency
+        )
 
     def read(self, name: str):
         """Read through any client (they share the cloud)."""

@@ -32,6 +32,7 @@ overwrites the same overflow objects instead of leaking new ones.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -54,6 +55,21 @@ POINTER_PREFIX = "@s3:"
 
 #: Key namespace for spilled values inside the data bucket.
 OVERFLOW_PREFIX = ".pass/overflow/"
+
+#: Valid S3 nonce metadata: optional ``v`` prefix then digits (``v0007``).
+_NONCE_RE = re.compile(r"v?(\d+)\Z")
+
+
+def parse_nonce(nonce: str) -> int | None:
+    """Version number from S3 nonce metadata, or ``None`` if malformed.
+
+    The store writes ``vNNNN``, but metadata is plain user text: a
+    corrupted or hand-written value must not crash a reader with a bare
+    ``ValueError`` — callers decide whether to skip the item (repository
+    scans) or surface a read-correctness error (targeted reads).
+    """
+    match = _NONCE_RE.fullmatch(nonce.strip())
+    return int(match.group(1)) if match else None
 
 
 @dataclass(frozen=True)

@@ -20,33 +20,67 @@ Sharded domains (scatter-gather): when the provenance store is split
 across N domains by a :class:`~repro.sharding.ShardRouter`, the engine
 routes **Q1 to the single shard owning the object's path** (its cost is
 independent of N) and **scatters Q2/Q3 across every shard**, merging the
-result frontiers client-side between BFS rounds. Per-shard operation and
-byte spend is captured on ``QueryMeasurement.per_shard`` by snapshotting
-the meter around each shard's requests, so Table 3 numbers — total and
-per shard — remain meter-derived rather than modelled. Caveat: there is
-no cross-shard snapshot; each shard answers at its own replica time.
+result frontiers client-side between BFS rounds.
+
+Concurrent dispatch (``concurrency=N``): each scatter phase builds one
+*wave* of per-shard request streams and hands it to a bounded worker
+pool. Per-stream spend is captured with **scoped meter contexts**
+(:meth:`~repro.aws.billing.Meter.scoped`) — a thread-local accounting
+scope per stream, so concurrent streams can never interleave into each
+other's totals and ``QueryMeasurement.per_shard`` still sums exactly to
+the query's global meter delta. The measurement's ``latency`` is the
+modeled **critical path** — per wave, the makespan of the streams on
+the pool (``repro.query.latency``) — while ``sequential_latency`` keeps
+the one-request-at-a-time sum a single-threaded client would pay. With
+``concurrency=1`` (the default) the dispatcher runs every stream inline
+in submission order and the engine is byte-identical to the historical
+sequential engine: same refs, same operation counts, same ``per_shard``
+triples. Caveat: there is still no cross-shard snapshot; each shard
+answers at its own replica time, whether streams run in series or in
+parallel.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from typing import Callable, TypeVar
 
 from repro.aws import billing
 from repro.aws.account import AWSAccount
 from repro.aws.billing import Usage
+from repro.aws.sdb_query import quote_literal
 from repro.core.base import DATA_BUCKET, PROV_DOMAIN
 from repro.errors import NoSuchKey
 from repro.passlib.records import Attr, ObjectRef, ProvenanceBundle
 from repro.passlib.serializer import (
-    POINTER_PREFIX,
     bundle_from_item,
     bundles_from_s3_metadata,
+    parse_nonce,
 )
+from repro.query.latency import DEFAULT_LATENCY_MODEL, QueryLatencyModel, makespan
 from repro.sharding import ShardRouter
+
+T = TypeVar("T")
 
 #: Cross-reference values packed into one bracket predicate (bounded by
 #: SimpleDB's query-expression size limits).
 REF_BATCH = 20
+
+#: Environment knob CI uses to run the whole suite with a concurrent
+#: dispatcher (thread-safety regression net); engines constructed with
+#: an explicit ``concurrency=`` ignore it.
+CONCURRENCY_ENV = "REPRO_QUERY_CONCURRENCY"
+
+def default_concurrency() -> int:
+    """Worker-pool width when the caller does not pass one (env override)."""
+    raw = os.environ.get(CONCURRENCY_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
 
 
 @dataclass(frozen=True)
@@ -55,8 +89,15 @@ class QueryMeasurement:
 
     ``per_shard`` breaks the spend down as ``(domain, operations,
     bytes_out)`` triples, one per shard domain touched — populated by the
-    SimpleDB engine from meter deltas taken around each shard's
-    requests (empty for the S3 scan engine, which has no shards).
+    SimpleDB engine from scoped meter contexts opened around each
+    shard's request stream (empty for the S3 scan engine, which has no
+    shards).
+
+    ``latency`` is the modeled wall-clock of the query as dispatched:
+    for a concurrent engine, the sum over scatter phases of each wave's
+    critical path on the worker pool; for a sequential engine it equals
+    ``sequential_latency``, the plain sum of per-request round trips
+    (see ``repro.query.latency``).
     """
 
     refs: tuple[ObjectRef, ...]
@@ -64,25 +105,40 @@ class QueryMeasurement:
     bytes_out: int
     usage: Usage
     per_shard: tuple[tuple[str, int, int], ...] = ()
+    latency: float = 0.0
+    sequential_latency: float = 0.0
 
     @property
     def result_count(self) -> int:
         return len(self.refs)
 
+    @property
+    def speedup(self) -> float:
+        """Modeled sequential/dispatched latency ratio (1.0 when serial)."""
+        return self.sequential_latency / self.latency if self.latency else 1.0
+
 
 class _Metered:
     """Shared meter-delta bookkeeping."""
 
-    def __init__(self, account: AWSAccount):
+    def __init__(
+        self,
+        account: AWSAccount,
+        latency_model: QueryLatencyModel = DEFAULT_LATENCY_MODEL,
+    ):
         self.account = account
+        self.latency_model = latency_model
 
     def _measure(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
         spent = self.account.meter.snapshot() - before
+        seconds = self.latency_model.stream_seconds(spent)
         return QueryMeasurement(
             refs=tuple(sorted(refs)),
             operations=spent.request_count(),
             bytes_out=spent.transfer_out(),
             usage=spent,
+            latency=seconds,
+            sequential_latency=seconds,
         )
 
 
@@ -94,9 +150,17 @@ class S3ScanEngine(_Metered):
     repository, which is so inefficient as to be impractical." (§4.1)
     """
 
-    def __init__(self, account: AWSAccount, bucket: str = DATA_BUCKET):
-        super().__init__(account)
+    def __init__(
+        self,
+        account: AWSAccount,
+        bucket: str = DATA_BUCKET,
+        latency_model: QueryLatencyModel = DEFAULT_LATENCY_MODEL,
+    ):
+        super().__init__(account, latency_model)
         self.bucket = bucket
+        #: Objects the last scan skipped because their ``nonce`` metadata
+        #: would not parse — a malformed item must not abort the scan.
+        self.skipped_items = 0
 
     # -- scanning -----------------------------------------------------------
 
@@ -115,15 +179,23 @@ class S3ScanEngine(_Metered):
         return self.account.s3.get(self.bucket, key).bytes().decode("utf-8")
 
     def scan_bundles(self) -> list[ProvenanceBundle]:
-        """HEAD every object; decode its own + piggybacked bundles."""
+        """HEAD every object; decode its own + piggybacked bundles.
+
+        Objects whose ``nonce`` metadata is malformed are skipped and
+        counted on :attr:`skipped_items` instead of aborting the scan.
+        """
         bundles: list[ProvenanceBundle] = []
+        self.skipped_items = 0
         for key in self._data_keys():
             try:
                 head = self.account.s3.head(self.bucket, key)
             except NoSuchKey:
                 continue  # replica lag on a brand-new object
-            nonce = head.metadata.get("nonce", "v0001")
-            subject = ObjectRef(key, int(nonce.lstrip("v")))
+            version = parse_nonce(head.metadata.get("nonce", "v0001"))
+            if version is None:
+                self.skipped_items += 1
+                continue
+            subject = ObjectRef(key, version)
             own, ancestors = bundles_from_s3_metadata(
                 subject, head.metadata, self._fetch_overflow
             )
@@ -172,6 +244,21 @@ class SimpleDBEngine(_Metered):
     scatter every phase across all shards and merge the frontiers
     client-side. The default router is the paper's single domain, under
     which every request sequence is identical to the unsharded engine.
+
+    ``concurrency`` bounds the worker pool that dispatches each scatter
+    wave's per-shard request streams. ``1`` (default, or via the
+    ``REPRO_QUERY_CONCURRENCY`` environment variable) runs streams
+    inline, byte-identical to the historical sequential engine; ``N>1``
+    runs up to N streams in parallel threads against the (lock-guarded)
+    simulated services, and the measurement's ``latency`` becomes the
+    modeled critical path instead of the sequential sum. The gather
+    merges results in deterministic submission order, so against strong
+    consistency (or converged replicas) concurrent results are identical
+    to sequential and reproducible for a fixed seed. Against
+    *unconverged* eventually consistent replicas no such promise exists
+    in either mode: replica choice is random, and thread scheduling
+    additionally reorders the shared RNG's draws — query after
+    ``settle()``/``quiesce()`` when exact reproducibility matters.
     """
 
     def __init__(
@@ -182,8 +269,10 @@ class SimpleDBEngine(_Metered):
         ref_batch: int = REF_BATCH,
         select_mode: bool = False,
         router: ShardRouter | None = None,
+        concurrency: int | None = None,
+        latency_model: QueryLatencyModel = DEFAULT_LATENCY_MODEL,
     ):
-        super().__init__(account)
+        super().__init__(account, latency_model)
         self.router = router or ShardRouter(1, base_domain=domain)
         #: Retained for single-shard callers (and select rendering when
         #: N=1); with ``shards > 1`` queries name per-shard domains.
@@ -191,34 +280,78 @@ class SimpleDBEngine(_Metered):
         self.bucket = bucket
         self.ref_batch = ref_batch
         self.select_mode = select_mode
+        if concurrency is None:
+            concurrency = default_concurrency()
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.concurrency = concurrency
         self._shard_spend: dict[str, tuple[int, int]] = {}
+        self._latency = 0.0
+        self._sequential_latency = 0.0
 
     def _fetch_overflow(self, key: str) -> str:
         return self.account.s3.get(self.bucket, key).bytes().decode("utf-8")
 
-    # -- per-shard accounting --------------------------------------------------
+    # -- scatter-gather dispatch ----------------------------------------------
 
     def _begin(self) -> Usage:
-        """Start a measured query: reset shard spend, snapshot the meter."""
+        """Start a measured query: reset accounting, snapshot the meter."""
         self._shard_spend = {}
+        self._latency = 0.0
+        self._sequential_latency = 0.0
         return self.account.meter.snapshot()
 
-    def _on_shard(self, domain: str, fn, *args, **kwargs):
-        """Run one shard-directed request, charging its meter delta.
+    def _run_wave(self, tasks: list[tuple[str, Callable[[], T]]]) -> list[T]:
+        """Dispatch one scatter wave of per-shard request streams.
 
-        The delta includes any S3 overflow GETs issued while decoding
-        that shard's items, so per-shard spend sums to the query total.
+        Each task is one shard-directed stream; its spend is captured in
+        a scoped meter context (including any S3 overflow GETs issued
+        while decoding that shard's items), so per-shard spend sums to
+        the query total even when streams interleave on the pool.
+        Results return in submission order — the gather is deterministic
+        regardless of completion order. The wave's modeled makespan on
+        the bounded pool accrues to the query's critical-path latency;
+        the plain sum accrues to its sequential latency.
         """
-        before = self.account.meter.snapshot()
-        try:
-            return fn(*args, **kwargs)
-        finally:
-            spent = self.account.meter.snapshot() - before
+        if not tasks:
+            return []
+        if self.concurrency == 1 or len(tasks) == 1:
+            # Inline: nothing could overlap anyway (identical results,
+            # accounting, and makespan), and Q1's single-lookup wave
+            # skips thread spawn entirely.
+            outcomes = []
+            for _, fn in tasks:
+                with self.account.meter.scoped() as scope:
+                    result = fn()
+                outcomes.append((result, scope))
+        else:
+
+            def run(fn: Callable[[], T]):
+                with self.account.meter.scoped() as scope:
+                    return fn(), scope
+
+            # A pool per wave: workers never outlive the dispatch, so
+            # handing engines out freely (Simulation.query_engine() makes
+            # a fresh one per call) cannot accumulate idle threads.
+            with ThreadPoolExecutor(
+                max_workers=min(self.concurrency, len(tasks)),
+                thread_name_prefix="scatter",
+            ) as executor:
+                futures = [executor.submit(run, fn) for _, fn in tasks]
+                outcomes = [future.result() for future in futures]
+        durations: list[float] = []
+        results: list[T] = []
+        for (domain, _), (result, scope) in zip(tasks, outcomes):
             ops, nbytes = self._shard_spend.get(domain, (0, 0))
             self._shard_spend[domain] = (
-                ops + spent.request_count(),
-                nbytes + spent.transfer_out(),
+                ops + scope.request_count(),
+                nbytes + scope.transfer_out(),
             )
+            durations.append(self.latency_model.stream_seconds(scope.usage()))
+            results.append(result)
+        self._latency += makespan(durations, self.concurrency)
+        self._sequential_latency += sum(durations)
+        return results
 
     def _measure_sharded(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
         measurement = self._measure(refs, before)
@@ -226,7 +359,12 @@ class SimpleDBEngine(_Metered):
             (domain, ops, nbytes)
             for domain, (ops, nbytes) in sorted(self._shard_spend.items())
         )
-        return replace(measurement, per_shard=per_shard)
+        return replace(
+            measurement,
+            per_shard=per_shard,
+            latency=self._latency,
+            sequential_latency=self._sequential_latency,
+        )
 
     # -- Q1 -------------------------------------------------------------------
 
@@ -238,51 +376,59 @@ class SimpleDBEngine(_Metered):
         """
         before = self._begin()
         domain = self.router.domain_for(ref.path)
-        refs: set[ObjectRef] = set()
-        attrs = self._on_shard(
-            domain, self.account.simpledb.get_attributes, domain, ref.item_name
-        )
-        if attrs:
-            bundle = self._on_shard(
-                domain, bundle_from_item, ref.item_name, attrs, self._fetch_overflow
-            )
-            refs.add(bundle.subject)
+
+        def lookup() -> ProvenanceBundle | None:
+            attrs = self.account.simpledb.get_attributes(domain, ref.item_name)
+            if not attrs:
+                return None
+            return bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
+
+        (bundle,) = self._run_wave([(domain, lookup)])
+        refs = {bundle.subject} if bundle is not None else set()
         return self._measure_sharded(refs, before)
 
     def q1_all(self) -> QueryMeasurement:
         """Q1 over every item: one lookup *per item* (§5's 72K ops).
 
-        SimpleDB cannot "generalise the query", so after paging through
-        each shard's item names it issues one GetAttributes per item
-        (plus a GET per spilled value) against that item's shard.
+        SimpleDB cannot "generalise the query", so each shard's stream
+        pages through that shard's item names and issues one
+        GetAttributes per item (plus a GET per spilled value). The N
+        per-shard streams are independent — one wave, dispatched
+        concurrently when ``concurrency > 1``.
         """
         before = self._begin()
+
+        def scan_shard(domain: str) -> Callable[[], set[ObjectRef]]:
+            def stream() -> set[ObjectRef]:
+                token: str | None = None
+                names: list[str] = []
+                while True:
+                    page = self.account.simpledb.query(
+                        domain, None, next_token=token
+                    )
+                    names.extend(page.item_names)
+                    token = page.next_token
+                    if token is None:
+                        break
+                found: set[ObjectRef] = set()
+                for item_name in names:
+                    attrs = self.account.simpledb.get_attributes(domain, item_name)
+                    if not attrs:
+                        continue
+                    bundle = bundle_from_item(
+                        item_name, attrs, self._fetch_overflow
+                    )
+                    found.add(bundle.subject)
+                return found
+
+            return stream
+
+        shard_refs = self._run_wave(
+            [(domain, scan_shard(domain)) for domain in self.router.domains]
+        )
         refs: set[ObjectRef] = set()
-        for domain in self.router.domains:
-            token: str | None = None
-            names: list[str] = []
-            while True:
-                page = self._on_shard(
-                    domain,
-                    self.account.simpledb.query,
-                    domain,
-                    None,
-                    next_token=token,
-                )
-                names.extend(page.item_names)
-                token = page.next_token
-                if token is None:
-                    break
-            for item_name in names:
-                attrs = self._on_shard(
-                    domain, self.account.simpledb.get_attributes, domain, item_name
-                )
-                if not attrs:
-                    continue
-                bundle = self._on_shard(
-                    domain, bundle_from_item, item_name, attrs, self._fetch_overflow
-                )
-                refs.add(bundle.subject)
+        for found in shard_refs:
+            refs.update(found)
         return self._measure_sharded(refs, before)
 
     # -- Q2 -------------------------------------------------------------------------
@@ -291,18 +437,16 @@ class SimpleDBEngine(_Metered):
         """Run one logical query on one shard via the front-end, paging.
 
         Yields (item name, attrs) pairs; the bracket expression and the
-        SELECT statement are two spellings of the same predicate.
+        SELECT statement are two spellings of the same predicate. Spend
+        accrues to whichever meter scope the consuming stream opened —
+        callers consume the generator fully inside their task.
         """
         token: str | None = None
         while True:
             if self.select_mode:
-                page = self._on_shard(
-                    domain, self.account.simpledb.select, select, next_token=token
-                )
+                page = self.account.simpledb.select(select, next_token=token)
             else:
-                page = self._on_shard(
-                    domain,
-                    self.account.simpledb.query_with_attributes,
+                page = self.account.simpledb.query_with_attributes(
                     domain,
                     expression,
                     attribute_names=[Attr.TYPE],
@@ -315,17 +459,28 @@ class SimpleDBEngine(_Metered):
 
     def _find_program_instances(self, program: str) -> set[ObjectRef]:
         """Phase 1: all process versions of ``program`` — every shard."""
-        expression = f"['type' = 'process'] intersection ['name' = '{program}']"
-        found: set[ObjectRef] = set()
-        for domain in self.router.domains:
+        literal = quote_literal(program)
+        expression = f"['type' = 'process'] intersection ['name' = {literal}]"
+
+        def find_on(domain: str) -> Callable[[], list[ObjectRef]]:
             select = (
                 f"select type from {domain} "
-                f"where type = 'process' and name = '{program}'"
+                f"where type = 'process' and name = {literal}"
             )
-            found.update(
-                ObjectRef.from_item_name(name)
-                for name, _ in self._paged_query(domain, expression, select)
-            )
+
+            def stream() -> list[ObjectRef]:
+                return [
+                    ObjectRef.from_item_name(name)
+                    for name, _ in self._paged_query(domain, expression, select)
+                ]
+
+            return stream
+
+        found: set[ObjectRef] = set()
+        for refs in self._run_wave(
+            [(domain, find_on(domain)) for domain in self.router.domains]
+        ):
+            found.update(refs)
         return found
 
     def _objects_with_inputs(self, inputs: set[ObjectRef]) -> set[tuple[ObjectRef, str]]:
@@ -333,21 +488,36 @@ class SimpleDBEngine(_Metered):
 
         An item's ``input`` edges can point at objects on *other* shards,
         so every chunk scatters across all domains and the matches are
-        gathered into one set.
+        gathered into one set. The chunk x shard streams are mutually
+        independent reads, so they form a single dispatch wave.
         """
-        found: set[tuple[ObjectRef, str]] = set()
         ordered = sorted(inputs)
+        tasks: list[tuple[str, Callable[[], list[tuple[ObjectRef, str]]]]] = []
         for start in range(0, len(ordered), self.ref_batch):
             chunk = ordered[start : start + self.ref_batch]
-            disjunction = " or ".join(f"'input' = '{ref.encode()}'" for ref in chunk)
+            literals = [quote_literal(ref.encode()) for ref in chunk]
+            disjunction = " or ".join(f"'input' = {lit}" for lit in literals)
             expression = f"[{disjunction}]"
-            in_list = ", ".join(f"'{ref.encode()}'" for ref in chunk)
+            in_list = ", ".join(literals)
             for domain in self.router.domains:
                 select = f"select type from {domain} where input in ({in_list})"
-                for name, attrs in self._paged_query(domain, expression, select):
-                    kind = (attrs.get(Attr.TYPE) or ("file",))[0]
-                    found.add((ObjectRef.from_item_name(name), kind))
+                tasks.append((domain, self._match_stream(domain, expression, select)))
+        found: set[tuple[ObjectRef, str]] = set()
+        for matches in self._run_wave(tasks):
+            found.update(matches)
         return found
+
+    def _match_stream(
+        self, domain: str, expression: str, select: str
+    ) -> Callable[[], list[tuple[ObjectRef, str]]]:
+        def stream() -> list[tuple[ObjectRef, str]]:
+            matches: list[tuple[ObjectRef, str]] = []
+            for name, attrs in self._paged_query(domain, expression, select):
+                kind = (attrs.get(Attr.TYPE) or ("file",))[0]
+                matches.append((ObjectRef.from_item_name(name), kind))
+            return matches
+
+        return stream
 
     def q2_outputs_of(self, program: str) -> QueryMeasurement:
         """Files that are outputs of ``program`` — two indexed phases (§5),
@@ -373,7 +543,9 @@ class SimpleDBEngine(_Metered):
         Under sharding each BFS round scatters the frontier's reference
         chunks across all shards and merges the children into the next
         frontier before continuing — the frontier is global, the lookups
-        are per-shard.
+        are per-shard. Rounds are sequential barriers (each frontier
+        depends on the last), so the modeled critical path is the sum of
+        per-round wave makespans.
         """
         before = self._begin()
         instances = self._find_program_instances(program)

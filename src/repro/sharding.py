@@ -141,12 +141,19 @@ class ShardRouter:
 
 @dataclass
 class RebalanceReport:
-    """What a shard rebalance did (counters for tests and operators)."""
+    """What a shard rebalance did (counters for tests and operators).
+
+    ``domains_deleted`` lists source domains that no longer belong to
+    the target layout and were emptied by the migration — a shrink
+    N→N' leaves them behind otherwise, and ``list_domains``/skew
+    reporting would keep counting the orphans.
+    """
 
     items_scanned: int = 0
     items_moved: int = 0
     items_kept: int = 0
     moves_by_domain: dict[str, int] = field(default_factory=dict)
+    domains_deleted: list[str] = field(default_factory=list)
 
 
 def rebalance(
@@ -163,6 +170,14 @@ def rebalance(
     union of all bundles is preserved exactly — the round-trip invariant
     the property suite checks. PutAttributes' set-merge semantics make a
     re-run after a crash idempotent.
+
+    Shrinking (some source domains absent from the target layout)
+    additionally drops each orphaned source domain once the migration
+    has verifiably emptied it, so ``list_domains`` and skew reporting
+    see only the target layout; the deletions are listed on
+    ``RebalanceReport.domains_deleted``. A domain that still holds items
+    (e.g. replica lag hid them from the migration scan) is left in place
+    for a re-run rather than destroyed.
 
     Consistency caveat: reads go through replicas; rebalance during a
     write-quiet window (or quiesce the simulated cloud first).
@@ -198,4 +213,11 @@ def rebalance(
             token = page.next_token
             if token is None:
                 break
+    surviving = set(target.domains)
+    for source_domain in source.domains:
+        if source_domain in surviving:
+            continue
+        if simpledb.item_count(source_domain) == 0:
+            simpledb.delete_domain(source_domain)
+            report.domains_deleted.append(source_domain)
     return report

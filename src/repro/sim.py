@@ -50,6 +50,7 @@ class Simulation:
         retry_attempts: int = 10,
         pump_every: int = 25,
         shards: int = 1,
+        concurrency: int | None = None,
         **architecture_kwargs,
     ):
         if architecture not in _FACTORIES:
@@ -74,6 +75,10 @@ class Simulation:
             self.account, faults=faults, retry=retry, **architecture_kwargs
         )
         self.store.provision()
+        #: Scatter-gather worker-pool width for query engines handed out
+        #: by :meth:`query_engine` (None → sequential, or the
+        #: ``REPRO_QUERY_CONCURRENCY`` environment override).
+        self.concurrency = concurrency
         self._pump_every = pump_every
         self.events_stored = 0
         self.stats = TraceStats()
@@ -139,11 +144,15 @@ class Simulation:
         """The Table 3 query engine matching this architecture.
 
         SimpleDB engines share the store's shard router, so queries
-        scatter-gather across exactly the domains the store wrote.
+        scatter-gather across exactly the domains the store wrote —
+        dispatched on a worker pool of ``self.concurrency`` streams
+        (1 = the sequential paper behaviour).
         """
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
-        return SimpleDBEngine(self.account, router=self.store.router)
+        return SimpleDBEngine(
+            self.account, router=self.store.router, concurrency=self.concurrency
+        )
 
     def scan_engine(self) -> S3ScanEngine:
         """An S3-scan engine (for apples-to-apples comparisons)."""

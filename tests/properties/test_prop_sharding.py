@@ -121,6 +121,72 @@ def test_rebalance_round_trip_preserves_every_bundle(seed, n_stages, n_before, n
     )
 
 
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_stages=st.integers(min_value=1, max_value=6),
+    shards=st.integers(min_value=1, max_value=4),
+    concurrency=st.sampled_from([1, 4]),
+)
+def test_per_shard_accounting_sums_exactly(seed, n_stages, shards, concurrency):
+    """Scoped metering: per-shard spend sums to the query's global delta
+    for every query, at every shard count, in both dispatch modes."""
+    from repro.query.engine import SimpleDBEngine
+
+    events = random_workload(random.Random(seed), n_stages)
+    sim = loaded_simulation(events, shards=shards)
+    engine = SimpleDBEngine(
+        sim.account, router=sim.store.router, concurrency=concurrency
+    )
+    measurements = [
+        engine.q2_outputs_of("blast"),
+        engine.q3_descendants_of("blast"),
+        engine.q1_all(),
+        engine.q1(events[0].subject),
+    ]
+    for m in measurements:
+        assert sum(ops for _, ops, _ in m.per_shard) == m.operations
+        assert sum(nbytes for _, _, nbytes in m.per_shard) == m.bytes_out
+        assert len(m.per_shard) <= shards
+
+
+def test_rebalance_shrink_deletes_orphaned_source_domains():
+    events = random_workload(random.Random(5), 6)
+    sim = loaded_simulation(events, shards=4)
+    simpledb = sim.account.simpledb
+    source = sim.store.router
+    target = ShardRouter(2)
+    sim.account.quiesce()
+    report = rebalance(simpledb, source, target)
+    orphans = set(source.domains) - set(target.domains)
+    assert sorted(report.domains_deleted) == sorted(orphans)
+    remaining = set(simpledb.list_domains())
+    assert not (orphans & remaining), "shrink left orphaned domains behind"
+    assert set(target.domains) <= remaining
+    # Skew reporting now sees only the surviving layout.
+    assert set(target.item_counts(simpledb)) == set(target.domains)
+
+
+def test_rebalance_shrink_to_single_domain_restores_paper_layout():
+    events = random_workload(random.Random(9), 5)
+    sim = loaded_simulation(events, shards=3)
+    simpledb = sim.account.simpledb
+    sim.account.quiesce()
+    report = rebalance(simpledb, sim.store.router, ShardRouter(1))
+    assert sorted(report.domains_deleted) == sorted(sim.store.router.domains)
+    assert simpledb.list_domains() == ["pass-prov"]
+
+
+def test_rebalance_grow_deletes_nothing_between_surviving_shards():
+    events = random_workload(random.Random(11), 5)
+    sim = loaded_simulation(events, shards=2)
+    simpledb = sim.account.simpledb
+    sim.account.quiesce()
+    report = rebalance(simpledb, sim.store.router, ShardRouter(4))
+    assert report.domains_deleted == []
+    assert set(sim.store.router.domains) <= set(simpledb.list_domains())
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     path=st.text(

@@ -145,6 +145,119 @@ class TestEnginesAgree:
         )
 
 
+class TestQuoteEscaping:
+    """Interpolated literals must survive embedded apostrophes.
+
+    ``o'brien``-style program and path names previously broke (or
+    silently mismatched) the bracket/SELECT renderings, because the wire
+    languages escape ``'`` as ``''``.
+    """
+
+    @staticmethod
+    def quoted_trace():
+        pas = PassSystem(workload="qtest")
+        pas.stage_input("data/o'brien's input.dat", b"raw")
+        with pas.process("o'brien", argv="--run") as proc:
+            proc.read("data/o'brien's input.dat")
+            proc.write("out/o'brien result.dat", b"cooked")
+            proc.close("out/o'brien result.dat")
+        with pas.process("digest") as post:
+            post.read("out/o'brien result.dat")
+            post.write("out/final.dat", b"done")
+            post.close("out/final.dat")
+        return pas.drain_flushes()
+
+    @pytest.fixture
+    def loaded(self, strong_account):
+        store = make_architecture("s3+simpledb", strong_account)
+        store.store_trace(self.quoted_trace())
+        return strong_account
+
+    @pytest.mark.parametrize("select_mode", [False, True])
+    def test_q2_with_apostrophes(self, loaded, select_mode):
+        engine = SimpleDBEngine(loaded, select_mode=select_mode)
+        measurement = engine.q2_outputs_of("o'brien")
+        assert {ref.path for ref in measurement.refs} == {"out/o'brien result.dat"}
+
+    @pytest.mark.parametrize("select_mode", [False, True])
+    def test_q3_closure_crosses_quoted_paths(self, loaded, select_mode):
+        # Phase 2 interpolates the *refs* (paths with apostrophes) into
+        # the IN list / disjunction: the closure must still reach the
+        # plainly named descendant.
+        engine = SimpleDBEngine(loaded, select_mode=select_mode)
+        measurement = engine.q3_descendants_of("o'brien")
+        assert {ref.path for ref in measurement.refs} == {
+            "out/o'brien result.dat",
+            "out/final.dat",
+        }
+
+    def test_quote_literal_rendering(self):
+        from repro.aws.sdb_query import quote_literal
+
+        assert quote_literal("blast") == "'blast'"
+        assert quote_literal("o'brien") == "'o''brien'"
+        assert quote_literal("''") == "''''''"
+
+
+class TestScanRobustness:
+    """A malformed nonce must not abort the whole A1 scan."""
+
+    @pytest.fixture
+    def loaded(self, strong_account, trace6):
+        store = make_architecture("s3", strong_account)
+        store.store_trace(trace6)
+        return strong_account
+
+    @staticmethod
+    def corrupt_nonce(account, key, nonce):
+        from repro.core.base import DATA_BUCKET
+
+        record = account.s3.get(DATA_BUCKET, key)
+        metadata = dict(record.metadata)
+        metadata["nonce"] = nonce
+        account.s3.put(DATA_BUCKET, key, record.bytes(), metadata)
+        account.quiesce()
+
+    @pytest.mark.parametrize("bad", ["", "garbage", "v12x", "vv7"])
+    def test_scan_skips_and_counts_bad_nonces(self, loaded, bad):
+        engine = S3ScanEngine(loaded)
+        healthy = {ref.path for ref in engine.q1_all().refs}
+        self.corrupt_nonce(loaded, "out/0.hits", bad)
+        measurement = engine.q1_all()
+        assert engine.skipped_items == 1
+        paths = {ref.path for ref in measurement.refs}
+        # The scan completes: only bundles solely hosted on the corrupted
+        # object's metadata are lost (its subject survives via the
+        # ancestors piggybacked on downstream objects).
+        assert paths <= healthy
+        lost = healthy - paths
+        assert lost
+        assert lost <= {"out/0.hits", "proc/blast.1000"}
+
+    def test_skip_counter_resets_between_scans(self, loaded):
+        engine = S3ScanEngine(loaded)
+        self.corrupt_nonce(loaded, "out/0.hits", "garbage")
+        engine.scan_bundles()
+        assert engine.skipped_items == 1
+        self.corrupt_nonce(loaded, "out/0.hits", "v0001")
+        engine.scan_bundles()
+        assert engine.skipped_items == 0
+
+    @pytest.mark.parametrize("architecture", ["s3", "s3+simpledb"])
+    def test_targeted_read_surfaces_malformed_nonce(
+        self, strong_account, trace6, architecture
+    ):
+        # A targeted read cannot skip like a scan: it must raise the
+        # domain error, not a bare ValueError from int().
+        from repro.errors import ReadCorrectnessViolation
+
+        store = make_architecture(architecture, strong_account)
+        store.store_trace(trace6)
+        self.corrupt_nonce(strong_account, "out/0.hits", "vv7")
+        with pytest.raises(ReadCorrectnessViolation):
+            store.read("out/0.hits")
+
+
 class TestGraphOracleAgreement:
     def test_walker_and_graph_agree(self, trace6):
         walker = AncestryWalker(b for e in trace6 for b in e.all_bundles())
