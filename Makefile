@@ -1,16 +1,33 @@
 # Developer entry points — no tox, no extra deps beyond pytest/hypothesis
-# (pytest-benchmark needed only for the bench targets).
+# (pytest-benchmark needed only for the bench targets; ruff only for lint).
 #
 #   make test         tier-1 suite (what CI runs, fixed hypothesis profile)
 #   make test-fast    same suite, fewer hypothesis examples
 #   make bench-smoke  quick benchmark pass at a reduced live scale
+#                     (BENCH_SMOKE_FILES picks the set — CI runs the same)
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
+#   make bench-check  perf-regression gate: metered Q1/Q2/Q3 totals vs
+#                     benchmarks/baselines.json (rebaseline with
+#                     `PYTHONPATH=src python benchmarks/check_baselines.py --write`)
+#   make lint         ruff check over src/tests/benchmarks (config: ruff.toml)
+#
+# Knobs the suite honours (also exercised by the CI matrix):
+#   REPRO_QUERY_CONCURRENCY=N    scatter-gather worker-pool width
+#   REPRO_BACKEND_PLACEMENT=...  default shard backend placement:
+#                                sdb | ddb | mixed | "0:sdb,1:ddb"
+#                                (mixed = even shards on SimpleDB, odd on
+#                                the DynamoDB-style store; shard 0 stays sdb)
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='bench_*.py'
 
-.PHONY: test test-fast bench bench-smoke
+# The benchmarks bench-smoke runs (kept in one place so CI and local
+# smoke stay in sync — extend this list as new benchmarks land).
+BENCH_SMOKE_FILES = bench_sharding_scaleout.py bench_concurrent_gather.py \
+	bench_multibackend.py bench_table3_query.py
+
+.PHONY: test test-fast bench bench-smoke bench-check lint
 
 test:
 	HYPOTHESIS_PROFILE=ci $(PYTEST) -x -q
@@ -19,9 +36,13 @@ test-fast:
 	HYPOTHESIS_PROFILE=dev $(PYTEST) -x -q
 
 bench-smoke:
-	$(BENCH) -q -x --benchmark-disable \
-		bench_sharding_scaleout.py bench_concurrent_gather.py \
-		bench_table3_query.py
+	$(BENCH) -q -x --benchmark-disable $(BENCH_SMOKE_FILES)
 
 bench:
 	$(BENCH) -q
+
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/check_baselines.py
+
+lint:
+	ruff check src tests benchmarks

@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.report import TextTable
 from repro.passlib.serializer import to_s3_metadata
-from repro.units import KB, S3_MAX_METADATA_SIZE, fmt_bytes
+from repro.units import S3_MAX_METADATA_SIZE, fmt_bytes
 from repro.workloads import CombinedWorkload
 
 from conftest import save_result

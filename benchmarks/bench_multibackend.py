@@ -1,0 +1,177 @@
+"""Heterogeneous shard placement — cost/latency of SDB vs DDB vs mixed.
+
+The §6 discussion treats SimpleDB as one plausible provenance store;
+the backend protocol makes the placement a knob. This benchmark loads
+the same live trace into three placements — all-SimpleDB, all-DynamoDB
+style, and mixed (even shards SDB, odd DDB) — at N ∈ {1, 4, 16} and
+reports, from meter deltas:
+
+* write-path cost: operations and USD to store the trace;
+* Q1/Q2/Q3 operations, bytes out, modeled latency, and USD — SimpleDB
+  answers Q2/Q3 with server-side predicates, the DynamoDB-style store
+  scans and filters client-side, so its read amplification (and read
+  unit consumption) is the honest price of having no query language,
+  while Q1-over-everything *benefits* from scan pages carrying whole
+  items instead of SimpleDB's one-GetAttributes-per-item pattern;
+* the per-backend spend split under mixed placement
+  (``QueryMeasurement.per_backend``), which must sum exactly to the
+  query totals.
+
+Result sets must be identical across placements at every N (the
+backend property suite hammers this; here it guards the measured
+configurations).
+"""
+
+import pytest
+
+from repro.analysis.report import TextTable
+from repro.aws import billing
+from repro.sim import Simulation
+
+from conftest import save_result
+
+SHARD_COUNTS = (1, 4, 16)
+PLACEMENTS = ("sdb", "ddb", "mixed")
+PROGRAM = "blast"
+
+
+@pytest.fixture(scope="module")
+def placed_sims(live_events):
+    """One loaded s3+simpledb deployment per (placement, shard count),
+    with the metered cost of the load itself."""
+    sims = {}
+    for placement in PLACEMENTS:
+        for shards in SHARD_COUNTS:
+            sim = Simulation(
+                architecture="s3+simpledb", seed=17, shards=shards,
+                placement=placement,
+            )
+            before = sim.account.meter.snapshot()
+            sim.store_events(live_events, collect=False)
+            load_usage = sim.account.meter.snapshot() - before
+            sims[(placement, shards)] = (sim, load_usage)
+    return sims
+
+
+@pytest.fixture(scope="module")
+def query_rows(placed_sims):
+    rows = {}
+    for key, (sim, _) in placed_sims.items():
+        engine = sim.query_engine()
+        q2 = engine.q2_outputs_of(PROGRAM)
+        q3 = engine.q3_descendants_of(PROGRAM)
+        q1 = engine.q1(q2.refs[0])
+        rows[key] = {"q1": q1, "q2": q2, "q3": q3}
+    return rows
+
+
+def _usd(sim, usage) -> float:
+    return sim.account.prices.cost(usage).total
+
+
+def test_multibackend_table(benchmark, placed_sims, query_rows, live_events):
+    benchmark(
+        placed_sims[("mixed", 16)][0].query_engine().q2_outputs_of, PROGRAM
+    )
+    table = TextTable(
+        ["placement", "shards", "store ops", "store $", "Q1 ops", "Q2 ops",
+         "Q3 ops", "Q3 bytes", "Q3 ms", "queries $", "RCU", "WCU"],
+        title=(
+            f"Heterogeneous shard placement ({len(live_events)}-object "
+            f"repository, queries on {PROGRAM!r})"
+        ),
+    )
+    for placement in PLACEMENTS:
+        for shards in SHARD_COUNTS:
+            sim, load_usage = placed_sims[(placement, shards)]
+            rows = query_rows[(placement, shards)]
+            query_usage = rows["q1"].usage
+            for name in ("q2", "q3"):
+                query_usage = _merge(query_usage, rows[name].usage)
+            table.add_row(
+                placement,
+                shards,
+                load_usage.request_count(),
+                f"{_usd(sim, load_usage):.4f}",
+                rows["q1"].operations,
+                rows["q2"].operations,
+                rows["q3"].operations,
+                rows["q3"].bytes_out,
+                f"{rows['q3'].latency * 1000:.0f}",
+                f"{_usd(sim, query_usage):.6f}",
+                f"{query_usage.read_units(billing.DDB):.1f}",
+                f"{load_usage.write_units(billing.DDB):.0f}",
+            )
+    save_result("multibackend_placement", table.render())
+
+
+def _merge(a, b):
+    """Sum two usage snapshots (Usage supports only subtraction)."""
+    from collections import Counter
+
+    def add(pairs_a, pairs_b):
+        counter = Counter(dict(pairs_a))
+        counter.update(dict(pairs_b))
+        return tuple(sorted(counter.items()))
+
+    from repro.aws.billing import Usage
+
+    return Usage(
+        requests=add(a.requests, b.requests),
+        bytes_in=add(a.bytes_in, b.bytes_in),
+        bytes_out=add(a.bytes_out, b.bytes_out),
+        byte_seconds=add(a.byte_seconds, b.byte_seconds),
+        stored_bytes=a.stored_bytes,
+        box_usage_hours=a.box_usage_hours + b.box_usage_hours,
+        read_capacity_units=add(a.read_capacity_units, b.read_capacity_units),
+        write_capacity_units=add(a.write_capacity_units, b.write_capacity_units),
+    )
+
+
+def test_results_identical_across_placements(query_rows):
+    for shards in SHARD_COUNTS:
+        baseline = query_rows[("sdb", shards)]
+        for placement in ("ddb", "mixed"):
+            rows = query_rows[(placement, shards)]
+            for name in ("q1", "q2", "q3"):
+                assert set(rows[name].refs) == set(baseline[name].refs), (
+                    f"{name} differs under {placement} at shards={shards}"
+                )
+
+
+def test_mixed_per_backend_split_sums_exactly(query_rows):
+    for shards in (4, 16):
+        rows = query_rows[("mixed", shards)]
+        for name in ("q2", "q3"):
+            measurement = rows[name]
+            kinds = {kind for kind, _, _ in measurement.per_backend}
+            assert kinds == {"sdb", "ddb"}
+            assert (
+                sum(ops for _, ops, _ in measurement.per_backend)
+                == measurement.operations
+            )
+            assert (
+                sum(nbytes for _, _, nbytes in measurement.per_backend)
+                == measurement.bytes_out
+            )
+
+
+def test_ddb_q1_all_needs_fewer_requests_than_sdb(placed_sims):
+    """Scan pages carry whole items, so Q1-over-everything on DynamoDB
+    style shards avoids SimpleDB's per-item GetAttributes round trips."""
+    sdb_sim, _ = placed_sims[("sdb", 4)]
+    ddb_sim, _ = placed_sims[("ddb", 4)]
+    sdb_q1_all = sdb_sim.query_engine().q1_all()
+    ddb_q1_all = ddb_sim.query_engine().q1_all()
+    assert set(ddb_q1_all.refs) == set(sdb_q1_all.refs)
+    assert ddb_q1_all.operations < sdb_q1_all.operations
+
+
+def test_sdb_q2_needs_fewer_bytes_than_ddb_scan(query_rows):
+    """Server-side predicates return only matches; a scan pays transfer
+    for every item it filters — the query-language asymmetry, visible
+    in bytes out."""
+    for shards in SHARD_COUNTS:
+        sdb_q2 = query_rows[("sdb", shards)]["q2"]
+        ddb_q2 = query_rows[("ddb", shards)]["q2"]
+        assert sdb_q2.bytes_out < ddb_q2.bytes_out

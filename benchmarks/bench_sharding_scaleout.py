@@ -18,7 +18,6 @@ this; here it guards the measured configurations).
 import pytest
 
 from repro.analysis.report import TextTable
-from repro.query.engine import SimpleDBEngine
 from repro.sim import Simulation
 
 from conftest import save_result
@@ -62,7 +61,7 @@ def test_scaleout_table(benchmark, sharded_sims, scaleout_rows, live_events):
     )
     for shards, sim in sharded_sims.items():
         rows = scaleout_rows[shards]
-        counts = list(sim.store.router.item_counts(sim.account.simpledb).values())
+        counts = list(sim.store.router.item_counts(sim.account).values())
         mean = sum(counts) / len(counts)
         table.add_row(
             shards,
@@ -104,7 +103,7 @@ def test_scatter_cost_grows_with_shards(scaleout_rows):
 
 def test_storage_skew_within_hash_balance_budget(sharded_sims):
     sim = sharded_sims[16]
-    counts = list(sim.store.router.item_counts(sim.account.simpledb).values())
+    counts = list(sim.store.router.item_counts(sim.account).values())
     mean = sum(counts) / len(counts)
     assert max(counts) <= 2 * mean, f"overloaded shard: {counts}"
     assert min(counts) >= mean / 2, f"starved shard: {counts}"

@@ -18,7 +18,6 @@ from repro.analysis.query_model import (
 )
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
 from repro.sim import Simulation
-from repro.units import fmt_bytes, fmt_count
 
 from conftest import save_result
 

@@ -1,0 +1,107 @@
+"""CI perf-regression gate: metered query totals vs committed baselines.
+
+The whole evaluation is denominated in what the simulated AWS services
+meter, so a change that silently alters an operation or byte count is a
+perf (and cost) regression even when every result set is still correct.
+This script freezes the key totals — Q1/Q2/Q3 operations and bytes_out
+at shards ∈ {1, 4} over a fixed seeded workload — into
+``benchmarks/baselines.json`` and fails when a run drifts from the
+committed numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_baselines.py            # gate
+    PYTHONPATH=src python benchmarks/check_baselines.py --write    # rebaseline
+
+``make bench-check`` runs the gate; CI runs it as the ``bench-gate``
+job. A PR that legitimately changes a metered total must update the
+baseline file in the same PR (with ``--write``) so the drift is visible
+in review, never silent.
+
+The workload and queries are fully deterministic (seeded RNG, MD5 shard
+routing, strong consistency), so totals are exact integers — comparison
+is equality, not a tolerance band.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "baselines.json"
+
+#: Fixed workload scale — big enough that Q2/Q3 exercise batching and
+#: pagination, small enough for a CI gate (a few seconds).
+SCALE = 2.0
+SEED = 7
+PROGRAM = "blast"
+SHARD_COUNTS = (1, 4)
+
+
+def measure() -> dict[str, int]:
+    """Run the gate workload and return the metered totals, keyed flat."""
+    from repro.sim import Simulation
+    from repro.workloads import CombinedWorkload
+
+    workload = CombinedWorkload()
+    events = list(workload.iter_events(random.Random(f"bench-gate:{SEED}"), SCALE))
+    totals: dict[str, int] = {}
+    for shards in SHARD_COUNTS:
+        # Placement pinned to all-SimpleDB: the gate freezes the paper
+        # backend's totals and must not inherit REPRO_BACKEND_PLACEMENT.
+        sim = Simulation(
+            architecture="s3+simpledb", seed=SEED, shards=shards, placement="sdb"
+        )
+        sim.store_events(events, collect=False)
+        engine = sim.query_engine()
+        q2 = engine.q2_outputs_of(PROGRAM)
+        q3 = engine.q3_descendants_of(PROGRAM)
+        q1 = engine.q1(q2.refs[0])
+        for name, measurement in (("q1", q1), ("q2", q2), ("q3", q3)):
+            totals[f"shards={shards}/{name}/ops"] = measurement.operations
+            totals[f"shards={shards}/{name}/bytes_out"] = measurement.bytes_out
+            totals[f"shards={shards}/{name}/results"] = measurement.result_count
+    return totals
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help="rewrite baselines.json from this run (commit the diff)",
+    )
+    args = parser.parse_args(argv)
+
+    totals = measure()
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(totals, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(totals)} baseline totals to {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"FAIL: {BASELINE_PATH} missing; run with --write and commit it")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    drifted = []
+    for key in sorted(set(baseline) | set(totals)):
+        expected = baseline.get(key)
+        actual = totals.get(key)
+        if expected != actual:
+            drifted.append(f"  {key}: baseline={expected} actual={actual}")
+    if drifted:
+        print("FAIL: metered totals drifted from benchmarks/baselines.json")
+        print("\n".join(drifted))
+        print(
+            "\nIf the drift is intended, rebaseline in this PR:\n"
+            "  PYTHONPATH=src python benchmarks/check_baselines.py --write"
+        )
+        return 1
+    print(f"bench-gate OK: {len(totals)} metered totals match baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,6 @@ against the in-memory ground-truth graph.
 from repro.blob import SyntheticBlob
 from repro.graph.provgraph import ProvenanceGraph
 from repro.passlib.capture import PassSystem
-from repro.passlib.records import Attr, ObjectRef
 from repro.sim import Simulation
 
 FLAWED = "blast-2.2.16"

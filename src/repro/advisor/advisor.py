@@ -18,7 +18,7 @@ Four kinds of advice:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.advisor.model import WorkflowModel

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.passlib.records import Attr, ObjectRef, ProvenanceBundle

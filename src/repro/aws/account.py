@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.aws.billing import Meter, PriceBook
 from repro.aws.consistency import DelayModel, make_rng_family
+from repro.aws.dynamo import DynamoDBService
 from repro.aws.faults import RequestFaults
 from repro.aws.s3 import S3Service
 from repro.aws.simpledb import SimpleDBService
@@ -97,6 +98,29 @@ class AWSAccount:
             host_count=self.consistency.sqs_hosts,
             sample_fraction=self.consistency.sqs_sample_fraction,
         )
+        # The DynamoDB-style provenance store (heterogeneous placement);
+        # its own RNG stream so adding it never perturbs the 2009 trio.
+        self.dynamodb = DynamoDBService(
+            self.clock,
+            rng_for("dynamodb"),
+            self.meter,
+            faults=self.request_faults,
+            delays=delays,
+            n_replicas=self.consistency.n_replicas,
+        )
+        self._provenance_backends = None
+
+    def provenance_backends(self):
+        """Backend adapters by kind ({"sdb": ..., "ddb": ...}) — what a
+        :class:`~repro.sharding.ShardRouter` placement map names."""
+        if self._provenance_backends is None:
+            from repro.aws.backend import DynamoBackend, SimpleDBBackend
+
+            self._provenance_backends = {
+                SimpleDBBackend.kind: SimpleDBBackend(self.simpledb),
+                DynamoBackend.kind: DynamoBackend(self.dynamodb),
+            }
+        return self._provenance_backends
 
     def quiesce(self, horizon: float | None = None) -> None:
         """Advance simulated time until all replica propagation lands.

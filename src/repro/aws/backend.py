@@ -1,0 +1,331 @@
+"""The ProvenanceBackend protocol: one shard store, two services.
+
+Extracted from the SimpleDB-only store path so the shard router can
+place each provenance shard on a *named backend* — the paper's single
+SimpleDB domain (§4.2) or the DynamoDB-style service
+(:mod:`repro.aws.dynamo`). Every writer (the A2 client path, the A3
+commit daemon), the rebalancer, and all three query classes go through
+this protocol, so adding a backend never forks the store protocol
+logic.
+
+Two implementations:
+
+* :class:`SimpleDBBackend` — a zero-cost adapter over
+  :class:`~repro.aws.simpledb.SimpleDBService`. It issues **exactly**
+  the request sequences the pre-protocol code issued (same operations,
+  same batching, same pagination), so an all-SimpleDB placement is
+  byte-identical on the billing meter to the historical engine — the
+  invariant ``benchmarks/check_baselines.py`` and the backend property
+  suite pin.
+* :class:`DynamoBackend` — maps the same item model onto the
+  DynamoDB-style service: ``put`` becomes one idempotent string-set
+  ``UpdateItem`` (no 100-attribute batching — DynamoDB has no such
+  limit), point reads become ``GetItem`` (eventually consistent by
+  default, like SimpleDB replica reads; ``consistent_reads=True`` buys
+  strong reads at double the read units), and — because the service has
+  no query language — every query phase becomes a paged ``Scan`` with
+  the *same* compiled predicate applied client-side, so result sets are
+  identical across backends while the metered cost differs honestly.
+  Throttled requests back off by advancing the simulated clock.
+
+Backend *kinds* are the short names placement maps use: ``"sdb"`` and
+``"ddb"`` (see :func:`repro.sharding.parse_placement`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+from repro.aws.dynamo import DynamoDBService
+from repro.aws.sdb_query import parse_query, run_query
+from repro.aws.simpledb import Attribute, SimpleDBService
+from repro.errors import ProvisionedThroughputExceeded, ServiceUnavailable
+from repro.units import SDB_MAX_ATTRS_PER_CALL
+
+#: Backend kind names, as used in placement maps and CLI knobs.
+SDB_KIND = "sdb"
+DDB_KIND = "ddb"
+BACKEND_KINDS = (SDB_KIND, DDB_KIND)
+
+
+def _retry_unavailable(fn, *args, attempts: int = 4, **kwargs):
+    """Re-issue a request through transient 503s (SDK behaviour: the
+    error is raised before state mutates, so immediate retry is safe).
+    Mirrors ``repro.core.base.call_with_retries`` — kept local so the
+    AWS layer does not depend on the architecture layer."""
+    for attempt in range(attempts):
+        try:
+            return fn(*args, **kwargs)
+        except ServiceUnavailable:
+            if attempt == attempts - 1:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ProvenanceBackend(Protocol):
+    """What a shard store must provide to hold provenance items.
+
+    A *store* is one shard's namespace: a SimpleDB domain or a DynamoDB
+    style table, named identically on either backend (``pass-prov``,
+    ``pass-prov-00``, ...). Items are ``name -> tuple-of-values``
+    attribute maps — the shape the serialiser produces — and writes
+    merge values as sets, so replaying any write is idempotent on every
+    backend.
+    """
+
+    #: Short kind name ("sdb" / "ddb") — what placement maps reference.
+    kind: str
+
+    def provision(self, store: str) -> None:
+        """Create the shard store (idempotent)."""
+        ...
+
+    def drop(self, store: str) -> None:
+        """Delete the shard store and everything in it."""
+        ...
+
+    def put_provenance_item(
+        self, store: str, item_name: str, attributes: list[tuple[str, str]]
+    ) -> None:
+        """Merge attribute values into one item, per backend limits."""
+        ...
+
+    def delete_item(self, store: str, item_name: str) -> None:
+        """Remove one whole item (idempotent)."""
+        ...
+
+    def get_item(self, store: str, item_name: str) -> dict[str, tuple[str, ...]]:
+        """Point-read one item's attributes ({} when not visible)."""
+        ...
+
+    def query_pages(
+        self,
+        store: str,
+        expression: str,
+        select: str,
+        select_mode: bool,
+        attribute_names: list[str] | None,
+    ) -> Iterator[tuple[str, dict[str, tuple[str, ...]]]]:
+        """Matching (item name, projected attrs) pairs, paged through
+        the backend's native read path."""
+        ...
+
+    def enumerate_items(
+        self, store: str
+    ) -> Iterator[tuple[str, dict[str, tuple[str, ...]]]]:
+        """Every item with full attributes, via the backend's natural
+        full-read pattern (what Q1-over-everything costs here)."""
+        ...
+
+    def scan_pages(
+        self, store: str
+    ) -> Iterator[tuple[str, dict[str, tuple[str, ...]]]]:
+        """Every item with full attributes, for migration/recovery scans."""
+        ...
+
+    def item_count(self, store: str) -> int:
+        """Authoritative number of items (skew reporting; 0 if absent)."""
+        ...
+
+    def authoritative_item(
+        self, store: str, item_name: str
+    ) -> dict[str, tuple[str, ...]] | None:
+        """Oracle read bypassing replication (tests/migration checks)."""
+        ...
+
+    def authoritative_item_names(self, store: str) -> list[str]:
+        ...
+
+
+class SimpleDBBackend:
+    """The paper's backend: one SimpleDB domain per shard store.
+
+    Request sequences are byte-identical to the pre-protocol code paths
+    — the meter cannot tell this adapter from the historical inline
+    calls (the baselines gate enforces exactly that).
+    """
+
+    kind = SDB_KIND
+
+    def __init__(self, service: SimpleDBService):
+        self.service = service
+
+    def provision(self, store: str) -> None:
+        self.service.create_domain(store)
+
+    def drop(self, store: str) -> None:
+        self.service.delete_domain(store)
+
+    def put_provenance_item(
+        self, store: str, item_name: str, attributes: list[tuple[str, str]]
+    ) -> None:
+        """PutAttributes in batches of ≤100 (§4.2 step 3 / §4.3 2(c))."""
+        attrs = [Attribute(name, value) for name, value in attributes]
+        for start in range(0, len(attrs), SDB_MAX_ATTRS_PER_CALL):
+            _retry_unavailable(
+                self.service.put_attributes,
+                store,
+                item_name,
+                attrs[start : start + SDB_MAX_ATTRS_PER_CALL],
+            )
+
+    def delete_item(self, store: str, item_name: str) -> None:
+        self.service.delete_attributes(store, item_name)
+
+    def get_item(self, store: str, item_name: str) -> dict[str, tuple[str, ...]]:
+        return self.service.get_attributes(store, item_name)
+
+    def query_pages(self, store, expression, select, select_mode, attribute_names):
+        """Query/QueryWithAttributes (or SELECT) with result pagination
+        — the §2.2 front-ends, projected server-side."""
+        token: str | None = None
+        while True:
+            if select_mode:
+                page = self.service.select(select, next_token=token)
+            else:
+                page = self.service.query_with_attributes(
+                    store,
+                    expression,
+                    attribute_names=attribute_names,
+                    next_token=token,
+                )
+            yield from page.items
+            token = page.next_token
+            if token is None:
+                return
+
+    def enumerate_items(self, store):
+        """The §5 Q1-over-everything pattern: page every item *name*
+        with Query, then one GetAttributes per item — SimpleDB cannot
+        "generalise the query", so each item is its own round trip."""
+        token: str | None = None
+        names: list[str] = []
+        while True:
+            page = self.service.query(store, None, next_token=token)
+            names.extend(page.item_names)
+            token = page.next_token
+            if token is None:
+                break
+        for item_name in names:
+            yield item_name, self.service.get_attributes(store, item_name)
+
+    def scan_pages(self, store):
+        """Full-domain QueryWithAttributes paging (migration/recovery)."""
+        token: str | None = None
+        while True:
+            page = self.service.query_with_attributes(store, None, next_token=token)
+            yield from page.items
+            token = page.next_token
+            if token is None:
+                return
+
+    def item_count(self, store: str) -> int:
+        return self.service.item_count(store)
+
+    def authoritative_item(self, store, item_name):
+        return self.service.authoritative_item(store, item_name)
+
+    def authoritative_item_names(self, store: str) -> list[str]:
+        return self.service.authoritative_item_names(store)
+
+
+class DynamoBackend:
+    """A shard store on the DynamoDB-style service (one table each).
+
+    ``consistent_reads=True`` upgrades point reads and scans to strongly
+    consistent (double read units, no replica staleness) — per-backend
+    the choice SimpleDB never offered.
+    """
+
+    kind = DDB_KIND
+
+    #: Simulated-clock seconds one throttled request backs off before
+    #: retrying (a fresh admission window opens every second).
+    backoff_seconds = 0.25
+    #: Bounded backoff attempts: a table too small for even one request
+    #: per window must surface the throttle, not spin forever.
+    max_backoffs = 400
+
+    def __init__(self, service: DynamoDBService, consistent_reads: bool = False):
+        self.service = service
+        self.consistent_reads = consistent_reads
+        #: Throttle events ridden out (observability for benchmarks).
+        self.throttled_requests = 0
+
+    # Admission control: provisioned throughput is per simulated second,
+    # so backing off means advancing the simulated clock — the client
+    # *waits*, exactly like SDK exponential backoff against 400s.
+    def _with_backoff(self, fn, *args, **kwargs):
+        for _ in range(self.max_backoffs):
+            try:
+                return _retry_unavailable(fn, *args, **kwargs)
+            except ProvisionedThroughputExceeded:
+                self.throttled_requests += 1
+                self.service.clock.advance(self.backoff_seconds)
+        return _retry_unavailable(fn, *args, **kwargs)  # last try surfaces it
+
+    def provision(self, store: str) -> None:
+        self.service.create_table(store)
+
+    def drop(self, store: str) -> None:
+        self.service.delete_table(store)
+
+    def put_provenance_item(
+        self, store: str, item_name: str, attributes: list[tuple[str, str]]
+    ) -> None:
+        """One string-set UpdateItem — no attribute batching limit."""
+        self._with_backoff(self.service.update_item, store, item_name, list(attributes))
+
+    def delete_item(self, store: str, item_name: str) -> None:
+        self._with_backoff(self.service.delete_item, store, item_name)
+
+    def get_item(self, store: str, item_name: str) -> dict[str, tuple[str, ...]]:
+        return self._with_backoff(
+            self.service.get_item, store, item_name, consistent=self.consistent_reads
+        )
+
+    def _scan_all(self, store: str):
+        """Paged Scan over the whole table (the only read path there is)."""
+        start_key: str | None = None
+        while True:
+            page = self._with_backoff(
+                self.service.scan,
+                store,
+                exclusive_start_key=start_key,
+                consistent=self.consistent_reads,
+            )
+            yield from page.items
+            start_key = page.last_evaluated_key
+            if start_key is None:
+                return
+
+    def query_pages(self, store, expression, select, select_mode, attribute_names):
+        """Scan + client-side filtering with the *same* compiled
+        predicate SimpleDB evaluates server-side (``select`` and
+        ``select_mode`` are SimpleDB wire-language choices and do not
+        apply here). Every scanned item is paid for in read units; the
+        projection trims only what the caller sees, not what the scan
+        cost — DynamoDB's filter-expression accounting."""
+        compiled = parse_query(expression)
+        wanted = None if attribute_names is None else set(attribute_names)
+        for item_name, attrs in run_query(list(self._scan_all(store)), compiled):
+            if wanted is not None:
+                attrs = {k: v for k, v in attrs.items() if k in wanted}
+            yield item_name, dict(attrs)
+
+    def enumerate_items(self, store):
+        """Scan pages already carry full items — no per-item round trip
+        (the backend-appropriate Q1-over-everything read)."""
+        yield from self._scan_all(store)
+
+    def scan_pages(self, store):
+        yield from self._scan_all(store)
+
+    def item_count(self, store: str) -> int:
+        return self.service.item_count(store)
+
+    def authoritative_item(self, store, item_name):
+        return self.service.authoritative_item(store, item_name)
+
+    def authoritative_item_names(self, store: str) -> list[str]:
+        return self.service.authoritative_item_names(store)

@@ -20,6 +20,17 @@ Prices follow the figures quoted in §2 of the paper (January 2009):
   operation counts and an estimated box-usage so either metric is
   available.
 * SQS — $0.01 per 10,000 requests, plus transfer at the S3 rates.
+
+The heterogeneous-backend extension adds a **DynamoDB-style** service
+(:mod:`repro.aws.dynamo`) with its own billing model: every request
+consumes *capacity units* sized by the item bytes it touches (1 KB per
+write unit, 4 KB per strongly consistent read unit, half for eventually
+consistent reads). The meter records consumed units exactly, and the
+price book bills them at on-demand request-unit rates plus DynamoDB's
+own storage rate — so a shard placement decision (SimpleDB vs the
+DynamoDB-style store) is an auditable line item, not a blind swap.
+Provisioned per-table throughput is enforced as admission control
+(throttling), separately from billing.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from repro.units import GB, SECONDS_PER_MONTH
 S3 = "s3"
 SDB = "simpledb"
 SQS = "sqs"
+DDB = "dynamodb"
 
 #: Request classes that S3 bills at the PUT tier ($0.01 / 1,000).
 S3_PUT_CLASS = frozenset({"PUT", "COPY", "POST", "LIST"})
@@ -80,6 +92,11 @@ class Usage:
     byte_seconds: tuple[tuple[str, float], ...]
     stored_bytes: tuple[tuple[str, int], ...]
     box_usage_hours: float
+    #: Consumed capacity units, keyed by service — only the DynamoDB
+    #: style backend records these (read units sized in 4 KB steps,
+    #: write units in 1 KB steps).
+    read_capacity_units: tuple[tuple[str, float], ...] = ()
+    write_capacity_units: tuple[tuple[str, float], ...] = ()
 
     # -- convenience accessors ------------------------------------------
 
@@ -102,6 +119,18 @@ class Usage:
 
     def stored(self, service: str | None = None) -> int:
         return sum(n for svc, n in self.stored_bytes if service in (None, svc))
+
+    def read_units(self, service: str | None = None) -> float:
+        """Consumed read capacity units (DynamoDB-style backends)."""
+        return sum(
+            n for svc, n in self.read_capacity_units if service in (None, svc)
+        )
+
+    def write_units(self, service: str | None = None) -> float:
+        """Consumed write capacity units (DynamoDB-style backends)."""
+        return sum(
+            n for svc, n in self.write_capacity_units if service in (None, svc)
+        )
 
     def gb_months(self, service: str | None = None) -> float:
         """Integrated storage in GB-months (what AWS storage pricing uses)."""
@@ -130,6 +159,12 @@ class Usage:
             ),
             stored_bytes=self.stored_bytes,
             box_usage_hours=self.box_usage_hours - other.box_usage_hours,
+            read_capacity_units=diff_counts(
+                self.read_capacity_units, other.read_capacity_units
+            ),
+            write_capacity_units=diff_counts(
+                self.write_capacity_units, other.write_capacity_units
+            ),
         )
 
 
@@ -150,13 +185,22 @@ class MeterScope:
     global level would be meaningless.
     """
 
-    __slots__ = ("_requests", "_bytes_in", "_bytes_out", "_box_usage_hours")
+    __slots__ = (
+        "_requests",
+        "_bytes_in",
+        "_bytes_out",
+        "_box_usage_hours",
+        "_read_units",
+        "_write_units",
+    )
 
     def __init__(self) -> None:
         self._requests: Counter[tuple[str, str]] = Counter()
         self._bytes_in: Counter[str] = Counter()
         self._bytes_out: Counter[str] = Counter()
         self._box_usage_hours = 0.0
+        self._read_units: Counter[str] = Counter()
+        self._write_units: Counter[str] = Counter()
 
     def usage(self) -> Usage:
         """The scope's accumulated activity as an immutable snapshot."""
@@ -167,6 +211,8 @@ class MeterScope:
             byte_seconds=(),
             stored_bytes=(),
             box_usage_hours=self._box_usage_hours,
+            read_capacity_units=tuple(sorted(self._read_units.items())),
+            write_capacity_units=tuple(sorted(self._write_units.items())),
         )
 
     # Convenience accessors mirroring Usage (hot path for per-shard triples).
@@ -198,6 +244,8 @@ class Meter:
         self._bytes_in: Counter[str] = Counter()
         self._bytes_out: Counter[str] = Counter()
         self._stored: Counter[str] = Counter()
+        self._read_units: Counter[str] = Counter()
+        self._write_units: Counter[str] = Counter()
         self._byte_seconds: dict[str, float] = {}
         self._last_update: dict[str, float] = {}
         self._box_usage_hours = 0.0
@@ -256,6 +304,19 @@ class Meter:
                 scope._bytes_out[service] += nbytes
 
     @synchronized
+    def record_capacity(
+        self, service: str, read_units: float = 0.0, write_units: float = 0.0
+    ) -> None:
+        """Record consumed capacity units (DynamoDB-style metering)."""
+        if read_units:
+            self._read_units[service] += read_units
+        if write_units:
+            self._write_units[service] += write_units
+        for scope in self._scope_stack():
+            scope._read_units[service] += read_units
+            scope._write_units[service] += write_units
+
+    @synchronized
     def record_box_usage(self, hours: float) -> None:
         """Add explicit SimpleDB machine time (e.g. for expensive scans)."""
         self._box_usage_hours += hours
@@ -295,6 +356,8 @@ class Meter:
             byte_seconds=tuple(sorted(self._byte_seconds.items())),
             stored_bytes=tuple(sorted(self._stored.items())),
             box_usage_hours=self._box_usage_hours,
+            read_capacity_units=tuple(sorted(self._read_units.items())),
+            write_capacity_units=tuple(sorted(self._write_units.items())),
         )
 
     @synchronized
@@ -323,6 +386,15 @@ class PriceBook:
     sqs_per_10000_requests: float = 0.01
     sqs_transfer_in_gb: float = 0.10
     sqs_transfer_out_gb: float = 0.17
+    # DynamoDB-style backend (heterogeneous-placement extension). Billed
+    # by consumed request units at on-demand rates, plus its own storage
+    # rate; anachronistic next to the 2009 services, flagged as such in
+    # the module docstring.
+    ddb_read_per_million_units: float = 0.25
+    ddb_write_per_million_units: float = 1.25
+    ddb_storage_gb_month: float = 0.25
+    ddb_transfer_in_gb: float = 0.10
+    ddb_transfer_out_gb: float = 0.17
 
     def cost(self, usage: Usage) -> "CostReport":
         """Convert a usage snapshot to an itemised USD cost report."""
@@ -348,6 +420,18 @@ class PriceBook:
         lines.append(("simpledb.transfer.in", usage.transfer_in(SDB) / GB * self.sdb_transfer_in_gb))
         lines.append(("simpledb.transfer.out", usage.transfer_out(SDB) / GB * self.sdb_transfer_out_gb))
         lines.append(("simpledb.storage", usage.gb_months(SDB) * self.sdb_storage_gb_month))
+
+        lines.append((
+            "dynamodb.read_units",
+            usage.read_units(DDB) / 1_000_000 * self.ddb_read_per_million_units,
+        ))
+        lines.append((
+            "dynamodb.write_units",
+            usage.write_units(DDB) / 1_000_000 * self.ddb_write_per_million_units,
+        ))
+        lines.append(("dynamodb.transfer.in", usage.transfer_in(DDB) / GB * self.ddb_transfer_in_gb))
+        lines.append(("dynamodb.transfer.out", usage.transfer_out(DDB) / GB * self.ddb_transfer_out_gb))
+        lines.append(("dynamodb.storage", usage.gb_months(DDB) * self.ddb_storage_gb_month))
 
         sqs_ops = usage.request_count(SQS)
         lines.append(("sqs.requests", sqs_ops / 10000 * self.sqs_per_10000_requests))

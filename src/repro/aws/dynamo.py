@@ -1,0 +1,373 @@
+"""Simulated DynamoDB-style key-value store (the §6 "what else?" backend).
+
+The paper frames SimpleDB as *one* plausible provenance store and asks
+how the architecture generalises. This module supplies the obvious
+successor: a provisioned-throughput key-value service in the mould of
+DynamoDB, different from SimpleDB in exactly the dimensions that make a
+shard placement decision interesting:
+
+* **tables → items → attributes**, where an attribute holds a *string
+  set* — ``update_item`` ADDs values into the set, so replays are
+  idempotent exactly like SimpleDB's ``PutAttributes`` set-merge, and
+  one provenance item serialises identically on either backend;
+* **item-size-based metering**: every request consumes capacity units —
+  writes in 1 KB steps (:data:`~repro.units.DDB_WCU_BYTES`), strongly
+  consistent reads in 4 KB steps (:data:`~repro.units.DDB_RCU_BYTES`),
+  eventually consistent reads at half that — recorded exactly on the
+  billing meter (:meth:`~repro.aws.billing.Meter.record_capacity`);
+* **provisioned throughput**: each table declares read/write capacity
+  (units per second of *simulated* time); a second that consumes more
+  is throttled with ``ProvisionedThroughputExceeded`` and the client
+  backs off by advancing the simulated clock;
+* **eventually-consistent vs strongly-consistent reads**: ``GetItem``
+  and ``Scan`` take a ``consistent`` flag — eventual reads go through
+  the same :class:`~repro.aws.consistency.ReplicaSet` machinery as the
+  2009 services (and cost half the read units), strong reads see the
+  authoritative state (and cost double);
+* **no query language**: there is no secondary index over attributes,
+  so the query engine's scatter phases read a DynamoDB-placed shard
+  with paged ``Scan`` + client-side filtering instead of SimpleDB's
+  server-side ``Query`` — the cost asymmetry the multibackend benchmark
+  measures.
+
+Sizes follow DynamoDB's accounting: an item's size is the sum of UTF-8
+attribute-name and value bytes plus the key; capacity units round up per
+item (reads aggregate per page for ``Scan``, as BatchGetItem would).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro import errors, units
+from repro.aws import billing
+from repro.aws.consistency import DelayModel, ReplicaSet, STRONG
+from repro.aws.faults import RequestFaults
+from repro.clock import SimClock
+from repro.concurrency import new_lock, synchronized
+
+#: Item attribute state: name -> tuple of distinct values (sorted) — the
+#: same shape SimpleDB items use, so serialisers work on either backend.
+ItemState = dict[str, tuple[str, ...]]
+
+#: Maximum items returned per Scan page (modeled; real DynamoDB pages by
+#: 1 MB of data — 250 keeps parity with the SimpleDB page size so the
+#: benchmarks compare request counts like-for-like).
+SCAN_MAX_PAGE = 250
+
+
+def _attr_size(state: ItemState) -> int:
+    return sum(
+        len(name.encode()) + len(value.encode())
+        for name, values in state.items()
+        for value in values
+    )
+
+
+def _item_size(key: str, state: ItemState) -> int:
+    return len(key.encode()) + _attr_size(state)
+
+
+def _write_units_for(nbytes: int) -> float:
+    """Write capacity units consumed by an item of ``nbytes`` (≥1)."""
+    return float(max(1, math.ceil(nbytes / units.DDB_WCU_BYTES)))
+
+
+def _read_units_for(nbytes: int, consistent: bool) -> float:
+    """Read capacity units for ``nbytes`` (strong = 4 KB steps, eventual
+    half that; a miss still costs the minimum unit)."""
+    base = float(max(1, math.ceil(nbytes / units.DDB_RCU_BYTES)))
+    return base if consistent else base / 2.0
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """One page of a table scan."""
+
+    items: tuple[tuple[str, ItemState], ...]
+    last_evaluated_key: str | None
+
+    @property
+    def item_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.items)
+
+
+@dataclass
+class _Table:
+    """One table: replicated state plus provisioned-throughput ledger."""
+
+    replicas: ReplicaSet
+    authority: dict[str, ItemState]
+    read_capacity: int
+    write_capacity: int
+    # Admission-control window: consumption within the current simulated
+    # second, reset when the clock enters a new second.
+    window_start: float = 0.0
+    window_read_units: float = 0.0
+    window_write_units: float = 0.0
+
+
+class DynamoDBService:
+    """The simulated DynamoDB-style endpoint for one AWS account."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        rng: random.Random,
+        meter: billing.Meter,
+        faults: RequestFaults | None = None,
+        delays: DelayModel = STRONG,
+        n_replicas: int = 3,
+        read_capacity: int = units.DDB_DEFAULT_READ_CAPACITY,
+        write_capacity: int = units.DDB_DEFAULT_WRITE_CAPACITY,
+    ):
+        self._clock = clock
+        self._rng = rng
+        self._meter = meter
+        self._faults = faults or RequestFaults()
+        self._delays = delays
+        self._n_replicas = n_replicas
+        self._default_read_capacity = read_capacity
+        self._default_write_capacity = write_capacity
+        self._tables: dict[str, _Table] = {}
+        self._lock = new_lock()
+
+    @property
+    def clock(self) -> SimClock:
+        """The simulated clock (clients advance it to ride out throttling)."""
+        return self._clock
+
+    # -- table management ---------------------------------------------------
+
+    @synchronized
+    def create_table(
+        self,
+        name: str,
+        read_capacity: int | None = None,
+        write_capacity: int | None = None,
+    ) -> None:
+        """Create a table with provisioned throughput. Idempotent (like
+        the SimpleDB adapter's ``CreateDomain``): re-creating an existing
+        table leaves its data and capacity untouched."""
+        self._request("CreateTable")
+        if name in self._tables:
+            return
+        self._tables[name] = _Table(
+            replicas=ReplicaSet(
+                f"ddb/{name}", self._clock, self._rng, self._n_replicas, self._delays
+            ),
+            authority={},
+            read_capacity=read_capacity or self._default_read_capacity,
+            write_capacity=write_capacity or self._default_write_capacity,
+        )
+
+    @synchronized
+    def delete_table(self, name: str) -> None:
+        self._request("DeleteTable")
+        removed = self._tables.pop(name, None)
+        if removed and removed.authority:
+            freed = sum(
+                _item_size(key, state) for key, state in removed.authority.items()
+            )
+            self._meter.adjust_stored(billing.DDB, -freed)
+
+    @synchronized
+    def list_tables(self) -> list[str]:
+        self._request("ListTables")
+        return sorted(self._tables)
+
+    def _table(self, name: str) -> _Table:
+        table = self._tables.get(name)
+        if table is None:
+            raise errors.NoSuchTable(name)
+        return table
+
+    # -- provisioned-throughput admission control ---------------------------
+
+    def _admit(self, table: _Table, read_units: float, write_units: float) -> None:
+        """Charge the current one-second window; throttle when exhausted.
+
+        A throttled request consumes nothing and is not metered — the
+        client backs off (advancing the simulated clock into a fresh
+        window) and retries, exactly like SDK exponential backoff.
+        """
+        now = self._clock.now
+        if now - table.window_start >= 1.0:
+            table.window_start = math.floor(now)
+            table.window_read_units = 0.0
+            table.window_write_units = 0.0
+        if table.window_read_units + read_units > table.read_capacity:
+            raise errors.ProvisionedThroughputExceeded(
+                f"read capacity {table.read_capacity} units/s exhausted"
+            )
+        if table.window_write_units + write_units > table.write_capacity:
+            raise errors.ProvisionedThroughputExceeded(
+                f"write capacity {table.write_capacity} units/s exhausted"
+            )
+        table.window_read_units += read_units
+        table.window_write_units += write_units
+
+    # -- writes -------------------------------------------------------------
+
+    @synchronized
+    def update_item(
+        self, table_name: str, key: str, adds: list[tuple[str, str]]
+    ) -> None:
+        """ADD attribute values into the item's string sets.
+
+        Set semantics make replays idempotent — the property A3's commit
+        daemon replay correctness rests on, preserved per backend.
+        Consumes write units for the *larger* of the item's size before
+        and after the update (DynamoDB's update accounting).
+        """
+        if not adds:
+            raise errors.ItemSizeLimitExceeded("update_item requires attributes")
+        table = self._table(table_name)
+        existing = table.authority.get(key)
+        state: ItemState = dict(existing) if existing is not None else {}
+        # Stored-byte accounting: an absent item occupies nothing (its
+        # key bytes only start counting once the item exists).
+        old_size = _item_size(key, state) if existing is not None else 0
+        for name, value in adds:
+            merged = set(state.get(name, ()))
+            merged.add(value)
+            state[name] = tuple(sorted(merged))
+        new_size = _item_size(key, state)
+        if new_size > units.DDB_MAX_ITEM_SIZE:
+            raise errors.ItemSizeLimitExceeded(
+                f"item {key!r} would be {new_size} bytes "
+                f"(limit {units.DDB_MAX_ITEM_SIZE})"
+            )
+        write_units = _write_units_for(max(old_size, new_size))
+        self._check_faults("UpdateItem")
+        self._admit(table, 0.0, write_units)
+        self._meter.record_request(billing.DDB, "UpdateItem")
+        self._meter.record_capacity(billing.DDB, write_units=write_units)
+        self._meter.record_transfer_in(
+            billing.DDB,
+            sum(len(n.encode()) + len(v.encode()) for n, v in adds),
+        )
+        self._meter.adjust_stored(billing.DDB, new_size - old_size)
+        table.authority[key] = state
+        table.replicas.write(key, dict(state))
+
+    @synchronized
+    def delete_item(self, table_name: str, key: str) -> None:
+        """Delete an item. Idempotent: deleting an absent item succeeds
+        (and still consumes the minimum write unit, as DynamoDB does)."""
+        table = self._table(table_name)
+        state = table.authority.get(key)
+        old_size = _item_size(key, state) if state is not None else 0
+        write_units = _write_units_for(old_size)
+        self._check_faults("DeleteItem")
+        self._admit(table, 0.0, write_units)
+        self._meter.record_request(billing.DDB, "DeleteItem")
+        self._meter.record_capacity(billing.DDB, write_units=write_units)
+        if state is None:
+            return
+        del table.authority[key]
+        self._meter.adjust_stored(billing.DDB, -_attr_size(state) - len(key.encode()))
+        table.replicas.delete(key)
+
+    # -- reads --------------------------------------------------------------
+
+    @synchronized
+    def get_item(
+        self, table_name: str, key: str, consistent: bool = False
+    ) -> ItemState:
+        """Fetch one item; ``consistent=True`` reads the authoritative
+        state at double the read-unit cost, ``False`` reads a replica
+        (may be stale or empty) at half cost."""
+        table = self._table(table_name)
+        if consistent:
+            state = table.authority.get(key) or {}
+        else:
+            state = table.replicas.read(key) or {}
+        read_units = _read_units_for(_item_size(key, state), consistent)
+        self._check_faults("GetItem")
+        self._admit(table, read_units, 0.0)
+        self._meter.record_request(billing.DDB, "GetItem")
+        self._meter.record_capacity(billing.DDB, read_units=read_units)
+        self._meter.record_transfer_out(billing.DDB, _attr_size(state))
+        return dict(state)
+
+    @synchronized
+    def scan(
+        self,
+        table_name: str,
+        exclusive_start_key: str | None = None,
+        limit: int = SCAN_MAX_PAGE,
+        consistent: bool = False,
+    ) -> ScanResult:
+        """One page of a full table scan, in key order.
+
+        Read units are charged for every item *scanned* on the page (the
+        whole point of scan-based filtering being expensive), aggregated
+        per page before rounding — DynamoDB's scan accounting.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        table = self._table(table_name)
+        if consistent:
+            snapshot = [
+                (key, dict(table.authority[key])) for key in sorted(table.authority)
+            ]
+        else:
+            snapshot = [(k, dict(v)) for k, v in table.replicas.items_snapshot()]
+        if exclusive_start_key is not None:
+            snapshot = [(k, v) for k, v in snapshot if k > exclusive_start_key]
+        page = snapshot[: min(limit, SCAN_MAX_PAGE)]
+        scanned_bytes = sum(_item_size(k, v) for k, v in page)
+        base = float(max(1, math.ceil(scanned_bytes / units.DDB_RCU_BYTES)))
+        read_units = base if consistent else base / 2.0
+        self._check_faults("Scan")
+        self._admit(table, read_units, 0.0)
+        self._meter.record_request(billing.DDB, "Scan")
+        self._meter.record_capacity(billing.DDB, read_units=read_units)
+        self._meter.record_transfer_out(
+            billing.DDB, sum(len(k.encode()) + _attr_size(v) for k, v in page)
+        )
+        last_key = page[-1][0] if len(snapshot) > len(page) and page else None
+        return ScanResult(
+            items=tuple((k, dict(v)) for k, v in page),
+            last_evaluated_key=last_key,
+        )
+
+    # -- oracle helpers (tests/migration verification) ----------------------
+
+    @synchronized
+    def authoritative_item(self, table_name: str, key: str) -> ItemState | None:
+        state = self._tables.get(table_name)
+        if state is None:
+            return None
+        found = state.authority.get(key)
+        return dict(found) if found is not None else None
+
+    @synchronized
+    def authoritative_item_names(self, table_name: str) -> list[str]:
+        table = self._tables.get(table_name)
+        return sorted(table.authority) if table is not None else []
+
+    @synchronized
+    def item_count(self, table_name: str) -> int:
+        table = self._tables.get(table_name)
+        return len(table.authority) if table is not None else 0
+
+    @synchronized
+    def provisioned_throughput(self, table_name: str) -> tuple[int, int]:
+        """(read_capacity, write_capacity) units/second for a table."""
+        table = self._table(table_name)
+        return table.read_capacity, table.write_capacity
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_faults(self, op: str) -> None:
+        """Fault injection, before ANY state mutation (so a retried 503
+        cannot double-charge the admission window or the meter)."""
+        self._faults.before_request(billing.DDB, op)
+
+    def _request(self, op: str) -> None:
+        self._check_faults(op)
+        self._meter.record_request(billing.DDB, op)

@@ -150,9 +150,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.passlib.capture import PassSystem
     from repro.sim import Simulation
 
-    sim = Simulation(architecture=args.architecture or "s3+simpledb+sqs",
-                     seed=args.seed, shards=args.shards,
-                     concurrency=args.concurrency)
+    try:
+        sim = Simulation(architecture=args.architecture or "s3+simpledb+sqs",
+                         seed=args.seed, shards=args.shards,
+                         placement=args.backend,
+                         concurrency=args.concurrency)
+    except ValueError as exc:  # e.g. a malformed --backend placement spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.shards > 1:
         if sim.architecture == "s3":
             print("note: --shards has no effect on the s3 architecture "
@@ -162,6 +167,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
                 f"provenance domain sharded {args.shards} ways: "
                 f"{', '.join(sim.store.router.domains)}"
             )
+    router = sim.store.router
+    if sim.architecture != "s3" and router.uses_backend("ddb"):
+        placed = ", ".join(
+            f"{domain}->{kind}" for domain, kind in router.placement_by_domain().items()
+        )
+        print(f"heterogeneous shard placement: {placed}")
     pas = PassSystem(workload="demo")
     pas.stage_input("demo/input.csv", b"x,y\n1,2\n")
     with pas.process("analyze", argv="--quick") as proc:
@@ -249,13 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
                                                  "s3+simpledb+sqs"])
     demo.add_argument(
         "--shards", type=_shard_count, default=1,
-        help="split the provenance domain across N SimpleDB domains "
-        "(consistent-hash routed; default 1, the paper's layout)",
+        help="split the provenance domain across N stores "
+        "(consistent-hash routed; default 1, the paper's layout; "
+        "each store is placed per --backend)",
     )
     demo.add_argument(
         "--concurrency", type=_worker_count, default=None,
         help="scatter-gather worker-pool width for queries (default 1 = "
         "sequential; N>1 dispatches per-shard streams in parallel)",
+    )
+    demo.add_argument(
+        "--backend", default=None, metavar="PLACEMENT",
+        help="shard backend placement: 'sdb' (SimpleDB, the paper's "
+        "store), 'ddb' (the DynamoDB-style store), 'mixed' (even shards "
+        "on sdb, odd on ddb), or explicit '0:sdb,1:ddb' pairs; default "
+        "is the REPRO_BACKEND_PLACEMENT environment spec or all-sdb",
     )
     demo.set_defaults(handler=cmd_demo)
 

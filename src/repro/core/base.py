@@ -30,12 +30,18 @@ item to ``router.domain_for(path)``; reads for a known path are
 single-shard; domain-wide operations (orphan recovery, Q2/Q3) must
 scatter across every shard and gather, with no cross-shard snapshot —
 each shard answers at its own replica time, so the usual eventual-
-consistency retry discipline applies per shard.
+consistency retry discipline applies per shard. Each shard's store
+lives on the backend its router placement names (SimpleDB or the
+DynamoDB-style service) and every store access goes through the
+:mod:`repro.aws.backend` protocol, so the architecture protocols are
+backend-agnostic; the snapshot-isolation gap above applies *per
+backend* too — a mixed placement reads each store at that service's own
+replica time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.aws.account import AWSAccount
@@ -239,30 +245,30 @@ class ProvenanceCloudStore:
         return f"{type(self).__name__}(stores={self.stores_completed})"
 
 
+def provenance_backend(account: AWSAccount, router: ShardRouter, domain: str):
+    """The backend adapter hosting one shard store, per the placement."""
+    return account.provenance_backends()[router.backend_for(domain)]
+
+
 def put_provenance_item(
     account: AWSAccount,
     router: ShardRouter,
     item_name: str,
     attributes: Iterable[tuple[str, str]],
 ) -> None:
-    """Store one provenance item on its shard, ≤100 attributes per call.
+    """Store one provenance item on its shard's placed backend.
 
     The single implementation of §4.2 step 3 / §4.3 step 2(c): both the
-    A2 client path and the A3 commit daemon must route and batch
-    identically, or a sharded deployment's two write paths diverge.
+    A2 client path and the A3 commit daemon must route, batch, and place
+    identically, or a sharded deployment's two write paths diverge. The
+    backend handles its own write shape — SimpleDB batches ≤100
+    attributes per PutAttributes call, the DynamoDB-style store merges
+    one string-set UpdateItem — and both are idempotent set-merges.
     """
-    from repro.aws.simpledb import Attribute
-    from repro.units import SDB_MAX_ATTRS_PER_CALL
-
     domain = router.domain_for_item(item_name)
-    attrs = [Attribute(name, value) for name, value in attributes]
-    for start in range(0, len(attrs), SDB_MAX_ATTRS_PER_CALL):
-        call_with_retries(
-            account.simpledb.put_attributes,
-            domain,
-            item_name,
-            attrs[start : start + SDB_MAX_ATTRS_PER_CALL],
-        )
+    provenance_backend(account, router, domain).put_provenance_item(
+        domain, item_name, list(attributes)
+    )
 
 
 def data_key(name: str) -> str:

@@ -29,7 +29,7 @@ before committing are invisible to the commit daemon; the cleaner lists
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.aws.account import AWSAccount
 from repro.aws.faults import NO_FAULTS, FaultPlan
@@ -86,8 +86,12 @@ class CommitDaemon:
     ):
         self.account = account
         self.queue_url = queue_url
-        #: Routes each provenance item to its shard domain; the default
-        #: single-shard router reproduces the paper's one-domain layout.
+        #: Routes each provenance item to its shard store — and, under a
+        #: heterogeneous placement, to that shard's backend (SimpleDB or
+        #: the DynamoDB-style table; both merge writes as sets, so the
+        #: replay-idempotency argument above holds per backend). The
+        #: default single-shard router reproduces the paper's one-domain
+        #: layout.
         self.router = router or ShardRouter(1)
         self.threshold = threshold
         self.receive_batch = receive_batch

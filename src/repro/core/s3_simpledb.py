@@ -45,6 +45,7 @@ from repro.core.base import (
     RetryPolicy,
     _InconsistentRead,
     data_key,
+    provenance_backend,
     put_provenance_item,
 )
 from repro.errors import NoSuchKey, ReadCorrectnessViolation
@@ -82,7 +83,7 @@ class S3SimpleDB(ProvenanceCloudStore):
 
     def _do_provision(self) -> None:
         self._ensure_bucket(DATA_BUCKET)
-        self.router.provision(self.account.simpledb)
+        self.router.provision(self.account.provenance_backends())
 
     # -- store protocol (§4.2) ------------------------------------------------
 
@@ -140,12 +141,11 @@ class S3SimpleDB(ProvenanceCloudStore):
         if version is None:
             raise ReadCorrectnessViolation(f"{name}: malformed nonce {nonce!r}")
         subject = ObjectRef(name, version)
-        attrs = self.account.simpledb.get_attributes(
-            self.router.domain_for(name), subject.item_name
-        )
+        attrs = self._get_provenance_attrs(name, subject.item_name)
         if not attrs:
-            # SimpleDB replica hasn't seen the item (or it was never
-            # stored — the orphan-data flavour of an atomicity break).
+            # The provenance replica hasn't seen the item (or it was
+            # never stored — the orphan-data flavour of an atomicity
+            # break).
             self.consistency_retries += 1
             raise _InconsistentRead(f"{subject.item_name}: no provenance visible")
         stored_token = (attrs.get(Attr.MD5) or ("",))[0]
@@ -160,9 +160,7 @@ class S3SimpleDB(ProvenanceCloudStore):
 
     def _read_version(self, name: str, version: int) -> ReadResult:
         subject = ObjectRef(name, version)
-        attrs = self.account.simpledb.get_attributes(
-            self.router.domain_for(name), subject.item_name
-        )
+        attrs = self._get_provenance_attrs(name, subject.item_name)
         if not attrs:
             raise _InconsistentRead(f"{subject.item_name}: no provenance visible")
         bundle = self._decode_item(subject.item_name, attrs)
@@ -182,6 +180,19 @@ class S3SimpleDB(ProvenanceCloudStore):
             data = current.blob
         return ReadResult(subject=subject, data=data, bundle=bundle, consistent=consistent)
 
+    def _get_provenance_attrs(self, name: str, item_name: str):
+        """Point-read one provenance item from its shard's backend.
+
+        SimpleDB shards read a replica via GetAttributes; DynamoDB-style
+        shards issue an eventually consistent GetItem — either way the
+        read may be stale or empty, which is exactly what the MD5‖nonce
+        retry discipline exists to absorb.
+        """
+        domain = self.router.domain_for(name)
+        return provenance_backend(self.account, self.router, domain).get_item(
+            domain, item_name
+        )
+
     def _decode_item(self, item_name: str, attrs) -> ProvenanceBundle:
         def fetch_overflow(key: str) -> str:
             return self.account.s3.get(DATA_BUCKET, key).bytes().decode("utf-8")
@@ -199,15 +210,12 @@ class S3SimpleDB(ProvenanceCloudStore):
         tolerating replicas that have not seen the newest item yet.
         """
         self.provision()
-        domain = self.router.domain_for(name)
         history: list[ProvenanceBundle] = []
         version = 1
         misses = 0
         while misses < max_gap:
             subject = ObjectRef(name, version)
-            attrs = self.account.simpledb.get_attributes(
-                domain, subject.item_name
-            )
+            attrs = self._get_provenance_attrs(name, subject.item_name)
             if attrs:
                 history.append(self._decode_item(subject.item_name, attrs))
                 misses = 0
@@ -231,21 +239,14 @@ class S3SimpleDB(ProvenanceCloudStore):
         self.provision()
         removed = []
         for domain in self.router.domains:
-            token = None
-            while True:
-                page = self.account.simpledb.query_with_attributes(
-                    domain, None, next_token=token
-                )
-                for item_name, attrs in page.items:
-                    if Attr.MD5 not in attrs:
-                        continue  # transient-object item; no data expected
-                    subject = ObjectRef.from_item_name(item_name)
-                    if self._is_orphan(subject):
-                        self.account.simpledb.delete_attributes(domain, item_name)
-                        removed.append(item_name)
-                token = page.next_token
-                if token is None:
-                    break
+            backend = provenance_backend(self.account, self.router, domain)
+            for item_name, attrs in backend.scan_pages(domain):
+                if Attr.MD5 not in attrs:
+                    continue  # transient-object item; no data expected
+                subject = ObjectRef.from_item_name(item_name)
+                if self._is_orphan(subject):
+                    backend.delete_item(domain, item_name)
+                    removed.append(item_name)
         self.orphans_removed += len(removed)
         return removed
 

@@ -112,6 +112,26 @@ class QueryTimeout(AWSError):
     code = "RequestTimeout"
 
 
+class NoSuchTable(AWSError):
+    """A DynamoDB-style request named a table that does not exist."""
+
+    code = "ResourceNotFoundException"
+
+
+class ItemSizeLimitExceeded(AWSError):
+    """A DynamoDB-style item would exceed the 400 KB item size limit."""
+
+    code = "ValidationException"
+
+
+class ProvisionedThroughputExceeded(AWSError):
+    """A DynamoDB-style request was throttled: the table's provisioned
+    read or write capacity is exhausted for the current second. Clients
+    back off (advancing the simulated clock) and retry."""
+
+    code = "ProvisionedThroughputExceededException"
+
+
 class NoSuchQueue(AWSError):
     """An SQS request named a queue that does not exist."""
 

@@ -62,6 +62,7 @@ class ClientFleet:
         seed: int = 0,
         consistency: ConsistencyConfig | None = None,
         shards: int = 1,
+        placement: str | dict[int, str] | None = None,
         concurrency: int | None = None,
     ):
         if architecture not in _FACTORIES:
@@ -74,8 +75,9 @@ class ClientFleet:
         #: never the module-level ``random`` state, which other tests
         #: (or pytest-xdist workers) would perturb. Same seed, same run.
         self._rng = random.Random(f"fleet:{seed}")
-        #: All clients share one shard layout of the provenance domain.
-        self.router = ShardRouter(shards)
+        #: All clients share one shard layout (and backend placement) of
+        #: the provenance domain.
+        self.router = ShardRouter(shards, placement=placement)
         #: Worker-pool width for shared query engines (None → sequential
         #: or the ``REPRO_QUERY_CONCURRENCY`` environment override).
         self.concurrency = concurrency

@@ -12,7 +12,7 @@ the implementation.
 
 from __future__ import annotations
 
-from repro.core.base import Component, Flow, ProvenanceCloudStore
+from repro.core.base import ProvenanceCloudStore
 
 
 def render_ascii(store: ProvenanceCloudStore) -> str:

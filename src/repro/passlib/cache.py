@@ -16,7 +16,7 @@ client-host loss.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.blob import Blob
 from repro.errors import CacheMiss

@@ -23,7 +23,7 @@ the unit of work the three architectures' ``store`` protocols consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.blob import Blob

@@ -22,6 +22,16 @@ routes **Q1 to the single shard owning the object's path** (its cost is
 independent of N) and **scatters Q2/Q3 across every shard**, merging the
 result frontiers client-side between BFS rounds.
 
+Heterogeneous placement: each shard's request stream goes through the
+shard's *placed backend* (:mod:`repro.aws.backend`) — SimpleDB shards
+answer Q2/Q3 phases with server-side ``Query``/``Select`` predicates and
+Q1-over-everything with the §5 one-GetAttributes-per-item pattern, while
+DynamoDB-style shards answer every phase with paged ``Scan`` + the same
+predicate applied client-side (the service has no query language) and
+enumerate items straight off the scan pages. Result sets are identical
+across placements; the metered cost is each backend's honest price, and
+``QueryMeasurement.per_shard`` / ``per_backend`` keep the exact split.
+
 Concurrent dispatch (``concurrency=N``): each scatter phase builds one
 *wave* of per-shard request streams and hands it to a bounded worker
 pool. Per-stream spend is captured with **scoped meter contexts**
@@ -47,7 +57,6 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, TypeVar
 
-from repro.aws import billing
 from repro.aws.account import AWSAccount
 from repro.aws.billing import Usage
 from repro.aws.sdb_query import quote_literal
@@ -91,7 +100,9 @@ class QueryMeasurement:
     bytes_out)`` triples, one per shard domain touched — populated by the
     SimpleDB engine from scoped meter contexts opened around each
     shard's request stream (empty for the S3 scan engine, which has no
-    shards).
+    shards). ``per_backend`` rolls the same exact triples up by backend
+    kind (``"sdb"``/``"ddb"``) under heterogeneous placement, so the
+    cost of a placement decision is auditable per query.
 
     ``latency`` is the modeled wall-clock of the query as dispatched:
     for a concurrent engine, the sum over scatter phases of each wave's
@@ -105,6 +116,7 @@ class QueryMeasurement:
     bytes_out: int
     usage: Usage
     per_shard: tuple[tuple[str, int, int], ...] = ()
+    per_backend: tuple[tuple[str, int, int], ...] = ()
     latency: float = 0.0
     sequential_latency: float = 0.0
 
@@ -274,6 +286,9 @@ class SimpleDBEngine(_Metered):
     ):
         super().__init__(account, latency_model)
         self.router = router or ShardRouter(1, base_domain=domain)
+        #: Backend adapters by kind; each shard's stream reads through
+        #: the adapter its placement names.
+        self.backends = account.provenance_backends()
         #: Retained for single-shard callers (and select rendering when
         #: N=1); with ``shards > 1`` queries name per-shard domains.
         self.domain = self.router.domains[0]
@@ -353,15 +368,28 @@ class SimpleDBEngine(_Metered):
         self._sequential_latency += sum(durations)
         return results
 
+    def _backend(self, domain: str):
+        """The backend adapter hosting one shard domain."""
+        return self.backends[self.router.backend_for(domain)]
+
     def _measure_sharded(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
         measurement = self._measure(refs, before)
         per_shard = tuple(
             (domain, ops, nbytes)
             for domain, (ops, nbytes) in sorted(self._shard_spend.items())
         )
+        by_backend: dict[str, tuple[int, int]] = {}
+        for domain, ops, nbytes in per_shard:
+            kind = self.router.backend_for(domain)
+            total_ops, total_bytes = by_backend.get(kind, (0, 0))
+            by_backend[kind] = (total_ops + ops, total_bytes + nbytes)
         return replace(
             measurement,
             per_shard=per_shard,
+            per_backend=tuple(
+                (kind, ops, nbytes)
+                for kind, (ops, nbytes) in sorted(by_backend.items())
+            ),
             latency=self._latency,
             sequential_latency=self._sequential_latency,
         )
@@ -376,9 +404,10 @@ class SimpleDBEngine(_Metered):
         """
         before = self._begin()
         domain = self.router.domain_for(ref.path)
+        backend = self._backend(domain)
 
         def lookup() -> ProvenanceBundle | None:
-            attrs = self.account.simpledb.get_attributes(domain, ref.item_name)
+            attrs = backend.get_item(domain, ref.item_name)
             if not attrs:
                 return None
             return bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
@@ -388,31 +417,24 @@ class SimpleDBEngine(_Metered):
         return self._measure_sharded(refs, before)
 
     def q1_all(self) -> QueryMeasurement:
-        """Q1 over every item: one lookup *per item* (§5's 72K ops).
+        """Q1 over every item, via each shard's natural full read (§5's
+        72K ops on SimpleDB).
 
-        SimpleDB cannot "generalise the query", so each shard's stream
-        pages through that shard's item names and issues one
-        GetAttributes per item (plus a GET per spilled value). The N
-        per-shard streams are independent — one wave, dispatched
-        concurrently when ``concurrency > 1``.
+        SimpleDB cannot "generalise the query", so its shards page item
+        names and issue one GetAttributes per item (plus a GET per
+        spilled value); DynamoDB-style shards page a Scan whose items
+        already carry their attributes. The N per-shard streams are
+        independent — one wave, dispatched concurrently when
+        ``concurrency > 1``.
         """
         before = self._begin()
 
         def scan_shard(domain: str) -> Callable[[], set[ObjectRef]]:
+            backend = self._backend(domain)
+
             def stream() -> set[ObjectRef]:
-                token: str | None = None
-                names: list[str] = []
-                while True:
-                    page = self.account.simpledb.query(
-                        domain, None, next_token=token
-                    )
-                    names.extend(page.item_names)
-                    token = page.next_token
-                    if token is None:
-                        break
                 found: set[ObjectRef] = set()
-                for item_name in names:
-                    attrs = self.account.simpledb.get_attributes(domain, item_name)
+                for item_name, attrs in backend.enumerate_items(domain):
                     if not attrs:
                         continue
                     bundle = bundle_from_item(
@@ -434,28 +456,19 @@ class SimpleDBEngine(_Metered):
     # -- Q2 -------------------------------------------------------------------------
 
     def _paged_query(self, domain: str, expression: str, select: str):
-        """Run one logical query on one shard via the front-end, paging.
+        """Run one logical query on one shard via its backend, paging.
 
         Yields (item name, attrs) pairs; the bracket expression and the
-        SELECT statement are two spellings of the same predicate. Spend
-        accrues to whichever meter scope the consuming stream opened —
-        callers consume the generator fully inside their task.
+        SELECT statement are two spellings of the same predicate (a
+        DynamoDB-placed shard evaluates the compiled predicate client
+        side over a Scan instead — ``select_mode`` is a SimpleDB wire
+        language choice). Spend accrues to whichever meter scope the
+        consuming stream opened — callers consume the generator fully
+        inside their task.
         """
-        token: str | None = None
-        while True:
-            if self.select_mode:
-                page = self.account.simpledb.select(select, next_token=token)
-            else:
-                page = self.account.simpledb.query_with_attributes(
-                    domain,
-                    expression,
-                    attribute_names=[Attr.TYPE],
-                    next_token=token,
-                )
-            yield from page.items
-            token = page.next_token
-            if token is None:
-                return
+        return self._backend(domain).query_pages(
+            domain, expression, select, self.select_mode, [Attr.TYPE]
+        )
 
     def _find_program_instances(self, program: str) -> set[ObjectRef]:
         """Phase 1: all process versions of ``program`` — every shard."""

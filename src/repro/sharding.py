@@ -20,6 +20,19 @@ file name) so that:
 Routing must be stable across processes and Python versions, so the hash
 is MD5 of the UTF-8 path — never the interpreter's randomised ``hash()``.
 
+Heterogeneous placement: each shard may live on a *named backend* — the
+paper's SimpleDB (``"sdb"``) or the DynamoDB-style service (``"ddb"``,
+:mod:`repro.aws.dynamo`) — via the router's ``placement`` map (see
+:func:`parse_placement`; default all-SimpleDB, byte-identical to the
+paper's deployment). The router stays pure routing: it answers *which
+store and which backend kind*, while the actual service adapters come
+from :meth:`repro.aws.account.AWSAccount.provenance_backends` (any
+helper here accepts the account, a ready backend mapping, or — for
+all-SimpleDB layouts only — the bare SimpleDB service, which older call
+sites pass). The ``REPRO_BACKEND_PLACEMENT`` environment variable
+supplies the default placement spec, which is how CI runs the whole
+suite under a mixed SDB/DDB layout.
+
 Consistency caveats (documented here, tested in
 ``tests/properties/test_prop_sharding.py``):
 
@@ -35,13 +48,120 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import os
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.passlib.records import ObjectRef
 from repro.units import SDB_MAX_ATTRS_PER_CALL
 
 #: The paper's single provenance domain (§4.2) — what ``shards=1`` uses.
 DEFAULT_BASE_DOMAIN = "pass-prov"
+
+#: Environment variable holding the default placement spec (CI sets it
+#: to ``mixed`` for the heterogeneous-placement suite pass).
+PLACEMENT_ENV = "REPRO_BACKEND_PLACEMENT"
+
+#: Backend kinds a placement may name (must match the adapter kinds in
+#: ``repro.aws.backend``; kept literal here so routing stays AWS-free).
+SDB_KIND = "sdb"
+DDB_KIND = "ddb"
+_KINDS = (SDB_KIND, DDB_KIND)
+
+
+def parse_placement(
+    spec: str | Mapping[int, str] | Sequence[str] | None, shards: int
+) -> tuple[str, ...]:
+    """Normalise a placement spec to one backend kind per shard index.
+
+    Accepted specs:
+
+    * ``None`` — the ``REPRO_BACKEND_PLACEMENT`` environment spec, or
+      all-SimpleDB when unset (the paper's deployment);
+    * ``"sdb"`` / ``"ddb"`` — every shard on that backend;
+    * ``"mixed"`` — even shard indices on SimpleDB, odd on the DynamoDB
+      style store (shard 0 — and thus ``shards=1`` — stays SimpleDB);
+    * ``"0:sdb,3:ddb"`` — explicit index:kind pairs, unlisted indices
+      defaulting to SimpleDB;
+    * a mapping ``{index: kind}`` or a sequence of ``shards`` kinds.
+
+    >>> parse_placement("mixed", 4)
+    ('sdb', 'ddb', 'sdb', 'ddb')
+    >>> parse_placement({1: "ddb"}, 3)
+    ('sdb', 'ddb', 'sdb')
+    """
+    if spec is None:
+        env = os.environ.get(PLACEMENT_ENV, "").strip()
+        spec = env or SDB_KIND
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in _KINDS:
+            return (text,) * shards
+        if text == "mixed":
+            return tuple(_KINDS[index % 2] for index in range(shards))
+        pairs: dict[int, str] = {}
+        for part in text.split(","):
+            index_text, _, kind = part.partition(":")
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise ValueError(f"bad placement spec {spec!r}") from None
+            pairs[index] = kind.strip()
+        spec = pairs
+    if isinstance(spec, Mapping):
+        placement = [SDB_KIND] * shards
+        for index, kind in spec.items():
+            if not 0 <= int(index) < shards:
+                raise ValueError(
+                    f"placement names shard {index}, but shards={shards}"
+                )
+            placement[int(index)] = kind
+    else:
+        placement = list(spec)
+        if len(placement) != shards:
+            raise ValueError(
+                f"placement lists {len(placement)} shards, expected {shards}"
+            )
+    for kind in placement:
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unknown backend kind {kind!r}; expected one of {_KINDS}"
+            )
+    return tuple(placement)
+
+
+def _resolve_backends(cloud) -> Mapping[str, object]:
+    """Coerce ``cloud`` into a kind → backend-adapter mapping.
+
+    Accepts a ready mapping, an :class:`~repro.aws.account.AWSAccount`
+    (every backend), or a bare SimpleDB service (all-SimpleDB layouts
+    only — the pre-placement call convention, kept working so existing
+    operational scripts do not break).
+    """
+    if isinstance(cloud, Mapping):
+        return cloud
+    if hasattr(cloud, "provenance_backends"):
+        return cloud.provenance_backends()
+    if hasattr(cloud, "create_domain"):  # a bare SimpleDBService
+        from repro.aws.backend import SimpleDBBackend
+
+        return {SDB_KIND: SimpleDBBackend(cloud)}
+    raise TypeError(
+        f"expected an AWSAccount, backend mapping, or SimpleDB service; "
+        f"got {type(cloud).__name__}"
+    )
+
+
+def _backend_for(backends: Mapping[str, object], router: "ShardRouter", domain: str):
+    kind = router.backend_for(domain)
+    try:
+        return backends[kind]
+    except KeyError:
+        raise KeyError(
+            f"placement puts {domain!r} on backend {kind!r}, but only "
+            f"{sorted(backends)} are available — pass the AWSAccount "
+            f"(or its provenance_backends()) instead of a bare service"
+        ) from None
 
 #: Virtual nodes per shard on the hash ring. More vnodes → better
 #: balance; 384 keeps per-shard item counts within 2x of the mean (both
@@ -72,6 +192,7 @@ class ShardRouter:
         shards: int = 1,
         base_domain: str = DEFAULT_BASE_DOMAIN,
         vnodes: int = DEFAULT_VNODES,
+        placement: str | Mapping[int, str] | Sequence[str] | None = None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -80,6 +201,9 @@ class ShardRouter:
         self.shards = shards
         self.base_domain = base_domain
         self.vnodes = vnodes
+        #: Backend kind per shard index ("sdb"/"ddb"); placement does
+        #: not influence routing, only which service hosts each store.
+        self.placement = parse_placement(placement, shards)
         if shards == 1:
             # The unsharded paper deployment: one domain, original name,
             # and no ring — domain_for short-circuits, so building one
@@ -121,21 +245,52 @@ class ShardRouter:
         """Ordinal of the shard owning ``path`` (for skew statistics)."""
         return self.domains.index(self.domain_for(path))
 
+    # -- placement ----------------------------------------------------------
+
+    def backend_for(self, domain: str) -> str:
+        """The backend kind ("sdb"/"ddb") hosting a shard's store."""
+        try:
+            return self.placement[self.domains.index(domain)]
+        except ValueError:
+            raise ValueError(f"{domain!r} is not one of this router's domains") from None
+
+    def backend_for_path(self, path: str) -> str:
+        return self.placement[self.shard_index(path)]
+
+    def placement_by_domain(self) -> dict[str, str]:
+        """Domain → backend kind (what operators read in reports)."""
+        return dict(zip(self.domains, self.placement))
+
+    def uses_backend(self, kind: str) -> bool:
+        return kind in self.placement
+
     # -- provisioning / introspection --------------------------------------
 
-    def provision(self, simpledb) -> None:
-        """CreateDomain for every shard (idempotent, like the service)."""
-        for domain in self.domains:
-            simpledb.create_domain(domain)
+    def provision(self, cloud) -> None:
+        """Create every shard's store on its placed backend (idempotent).
 
-    def item_counts(self, simpledb) -> dict[str, int]:
+        ``cloud`` may be the AWSAccount, a backend mapping, or — for
+        all-SimpleDB placements — the bare SimpleDB service.
+        """
+        backends = _resolve_backends(cloud)
+        for domain in self.domains:
+            _backend_for(backends, self, domain).provision(domain)
+
+    def item_counts(self, cloud) -> dict[str, int]:
         """Authoritative items per shard (storage-skew reporting)."""
-        return {domain: simpledb.item_count(domain) for domain in self.domains}
+        backends = _resolve_backends(cloud)
+        return {
+            domain: _backend_for(backends, self, domain).item_count(domain)
+            for domain in self.domains
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        placement = ""
+        if any(kind != SDB_KIND for kind in self.placement):
+            placement = f", placement={'/'.join(self.placement)}"
         return (
             f"ShardRouter(shards={self.shards}, "
-            f"base_domain={self.base_domain!r})"
+            f"base_domain={self.base_domain!r}{placement})"
         )
 
 
@@ -152,72 +307,101 @@ class RebalanceReport:
     items_scanned: int = 0
     items_moved: int = 0
     items_kept: int = 0
+    #: Moves whose source and target shard live on *different* backend
+    #: kinds (SimpleDB ↔ the DynamoDB-style store).
+    cross_backend_moves: int = 0
     moves_by_domain: dict[str, int] = field(default_factory=dict)
     domains_deleted: list[str] = field(default_factory=list)
 
 
 def rebalance(
-    simpledb,
+    cloud,
     source: ShardRouter,
     target: ShardRouter,
     put_batch: int = SDB_MAX_ATTRS_PER_CALL,
 ) -> RebalanceReport:
     """Move every provenance item from ``source``'s layout to ``target``'s.
 
-    Walks each source domain through the public query API, re-puts items
-    whose owning shard changed, and deletes them from the old shard.
-    Values are copied verbatim (multi-valued attributes included), so the
-    union of all bundles is preserved exactly — the round-trip invariant
-    the property suite checks. PutAttributes' set-merge semantics make a
-    re-run after a crash idempotent.
+    Walks each source store through its backend's public read API,
+    re-puts items whose owning shard — or owning *backend* — changed,
+    and deletes them from the old store. Values are copied verbatim
+    (multi-valued attributes included), so the union of all bundles is
+    preserved exactly — the round-trip invariant the property suite
+    checks. Both backends merge writes as sets, so a re-run after a
+    crash is idempotent.
 
-    Shrinking (some source domains absent from the target layout)
-    additionally drops each orphaned source domain once the migration
-    has verifiably emptied it, so ``list_domains`` and skew reporting
-    see only the target layout; the deletions are listed on
-    ``RebalanceReport.domains_deleted``. A domain that still holds items
-    (e.g. replica lag hid them from the migration scan) is left in place
-    for a re-run rather than destroyed.
+    Heterogeneous layouts migrate *across backends*: an item whose shard
+    keeps its domain name but moves from SimpleDB to the DynamoDB-style
+    table (or back) is copied between services, counted on
+    ``RebalanceReport.cross_backend_moves``. ``cloud`` is the
+    AWSAccount (or a backend mapping); the bare SimpleDB service is
+    still accepted for all-SimpleDB layouts.
 
-    Consistency caveat: reads go through replicas; rebalance during a
-    write-quiet window (or quiesce the simulated cloud first).
+    Shrinking (some source stores absent from the target layout, by
+    name *or* by backend) additionally drops each orphaned source store
+    once the migration has verifiably emptied it, so store listings and
+    skew reporting see only the target layout; the deletions are listed
+    on ``RebalanceReport.domains_deleted``. A store that still holds
+    items (e.g. replica lag hid them from the migration scan) is left
+    in place for a re-run rather than destroyed.
+
+    Consistency caveat: reads go through replicas on either backend;
+    rebalance during a write-quiet window (or quiesce the simulated
+    cloud first).
     """
+    backends = _resolve_backends(cloud)
     report = RebalanceReport()
-    target.provision(simpledb)
+    target.provision(backends)
+    target_sites = set(target.placement_by_domain().items())
     for source_domain in source.domains:
-        token: str | None = None
-        while True:
-            page = simpledb.query_with_attributes(
-                source_domain, None, next_token=token
-            )
-            for item_name, attrs in page.items:
-                report.items_scanned += 1
-                target_domain = target.domain_for_item(item_name)
-                if target_domain == source_domain:
-                    report.items_kept += 1
-                    continue
-                pairs = [
-                    (attribute, value)
-                    for attribute in sorted(attrs)
-                    for value in attrs[attribute]
-                ]
-                for start in range(0, len(pairs), put_batch):
-                    simpledb.put_attributes(
-                        target_domain, item_name, pairs[start : start + put_batch]
-                    )
-                simpledb.delete_attributes(source_domain, item_name)
-                report.items_moved += 1
-                report.moves_by_domain[target_domain] = (
-                    report.moves_by_domain.get(target_domain, 0) + 1
+        source_kind = source.backend_for(source_domain)
+        source_backend = _backend_for(backends, source, source_domain)
+        for item_name, attrs in source_backend.scan_pages(source_domain):
+            report.items_scanned += 1
+            target_domain = target.domain_for_item(item_name)
+            target_kind = target.backend_for(target_domain)
+            if target_domain == source_domain and target_kind == source_kind:
+                report.items_kept += 1
+                continue
+            pairs = [
+                (attribute, value)
+                for attribute in sorted(attrs)
+                for value in attrs[attribute]
+            ]
+            target_backend = _backend_for(backends, target, target_domain)
+            for start in range(0, len(pairs), put_batch):
+                target_backend.put_provenance_item(
+                    target_domain, item_name, pairs[start : start + put_batch]
                 )
-            token = page.next_token
-            if token is None:
-                break
-    surviving = set(target.domains)
+            source_backend.delete_item(source_domain, item_name)
+            report.items_moved += 1
+            if target_kind != source_kind:
+                report.cross_backend_moves += 1
+            report.moves_by_domain[target_domain] = (
+                report.moves_by_domain.get(target_domain, 0) + 1
+            )
     for source_domain in source.domains:
-        if source_domain in surviving:
+        source_kind = source.backend_for(source_domain)
+        if (source_domain, source_kind) in target_sites:
             continue
-        if simpledb.item_count(source_domain) == 0:
-            simpledb.delete_domain(source_domain)
+        source_backend = _backend_for(backends, source, source_domain)
+        if source_backend.item_count(source_domain) == 0:
+            source_backend.drop(source_domain)
             report.domains_deleted.append(source_domain)
     return report
+
+
+def authoritative_snapshot(cloud, router: ShardRouter) -> dict[str, dict]:
+    """Every item under ``router``'s layout, read from backend oracles.
+
+    Item name → attribute map, across all shards and both backend
+    kinds — the migration-verification view the property suite diffs
+    before/after a rebalance.
+    """
+    backends = _resolve_backends(cloud)
+    snapshot: dict[str, dict] = {}
+    for domain in router.domains:
+        backend = _backend_for(backends, router, domain)
+        for item_name in backend.authoritative_item_names(domain):
+            snapshot[item_name] = backend.authoritative_item(domain, item_name)
+    return snapshot

@@ -50,9 +50,16 @@ class Simulation:
         retry_attempts: int = 10,
         pump_every: int = 25,
         shards: int = 1,
+        placement: str | dict[int, str] | None = None,
         concurrency: int | None = None,
         **architecture_kwargs,
     ):
+        """``shards``/``placement`` pick the provenance layout: N stores
+        routed by consistent hash, each placed on the backend the
+        placement spec names (``"sdb"``, ``"ddb"``, ``"mixed"``,
+        ``"0:sdb,1:ddb"``, or a ``{index: kind}`` map — default
+        all-SimpleDB, or the ``REPRO_BACKEND_PLACEMENT`` environment
+        spec)."""
         if architecture not in _FACTORIES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -68,9 +75,9 @@ class Simulation:
             wait=lambda: self.account.clock.advance(0.5),
         )
         if architecture_kwargs.get("router") is None:
-            architecture_kwargs["router"] = ShardRouter(shards)
-        elif shards != 1:
-            raise ValueError("pass shards=N or router=..., not both")
+            architecture_kwargs["router"] = ShardRouter(shards, placement=placement)
+        elif shards != 1 or placement is not None:
+            raise ValueError("pass shards=N/placement=... or router=..., not both")
         self.store: ProvenanceCloudStore = _FACTORIES[architecture](
             self.account, faults=faults, retry=retry, **architecture_kwargs
         )

@@ -29,6 +29,18 @@ SDB_MAX_ATTRS_PER_CALL = 100
 #: than as raw S3 metadata (paper Table 2: 121.8 MB → 177.9 MB).
 SDB_BILLABLE_OVERHEAD_PER_ELEMENT = 45
 
+#: DynamoDB-style limits (the heterogeneous-backend extension; these are
+#: the classic DynamoDB numbers, anachronistic next to the 2009 services
+#: but the natural "SimpleDB successor" the paper's §6 asks about).
+DDB_MAX_ITEM_SIZE = 400 * KB
+#: One write capacity unit covers a 1 KB write; one read capacity unit
+#: covers a 4 KB strongly consistent read (half for eventual reads).
+DDB_WCU_BYTES = 1 * KB
+DDB_RCU_BYTES = 4 * KB
+#: Default provisioned throughput per table (units per simulated second).
+DDB_DEFAULT_READ_CAPACITY = 1000
+DDB_DEFAULT_WRITE_CAPACITY = 500
+
 #: SQS limits (paper §2.3).
 SQS_MAX_MESSAGE_SIZE = 8 * KB
 SQS_MAX_RECEIVE_BATCH = 10

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.query_model import QueryCostRow, shape_check as query_shape
+from repro.analysis.query_model import shape_check as query_shape
 from repro.analysis.storage_model import shape_check as storage_shape
 from repro.graph.provgraph import ProvenanceGraph
 from repro.query.engine import S3ScanEngine, SimpleDBEngine

@@ -70,7 +70,7 @@ def test_sharded_fleet_with_crash_matches_unsharded_control():
 
     # The sharded store really is spread over 4 domains.
     assert len(sharded.router.domains) == 4
-    counts = sharded.router.item_counts(sharded.account.simpledb)
+    counts = sharded.router.item_counts(sharded.account)
     assert sum(counts.values()) > 0
     assert sum(1 for count in counts.values() if count) >= 2
 

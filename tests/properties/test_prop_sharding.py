@@ -18,8 +18,14 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.passlib.capture import PassSystem
-from repro.sharding import ShardRouter, rebalance
+from repro.sharding import ShardRouter, authoritative_snapshot, rebalance
 from repro.sim import Simulation
+
+
+def all_store_names(account) -> set[str]:
+    """Every provenance store name across both backends (the layout a
+    shrink must leave behind, whatever the placement says)."""
+    return set(account.simpledb.list_domains()) | set(account.dynamodb.list_tables())
 
 
 def random_workload(rng: random.Random, n_stages: int):
@@ -88,28 +94,22 @@ def test_sharded_queries_equal_unsharded_baseline(seed, n_stages, shards):
 def test_rebalance_round_trip_preserves_every_bundle(seed, n_stages, n_before, n_after):
     events = random_workload(random.Random(seed), n_stages)
     sim = loaded_simulation(events, shards=n_before)
-    simpledb = sim.account.simpledb
     source = sim.store.router
     target = ShardRouter(n_after)
 
-    def snapshot(router):
-        return {
-            item_name: simpledb.authoritative_item(domain, item_name)
-            for domain in router.domains
-            for item_name in simpledb.authoritative_item_names(domain)
-        }
-
-    before = snapshot(source)
+    before = authoritative_snapshot(sim.account, source)
     sim.account.quiesce()
-    report = rebalance(simpledb, source, target)
-    after = snapshot(target)
+    report = rebalance(sim.account, source, target)
+    after = authoritative_snapshot(sim.account, target)
 
     assert after == before  # every item survives, values verbatim
     assert report.items_scanned == len(before)
     assert report.items_moved + report.items_kept == report.items_scanned
+    backends = sim.account.provenance_backends()
     for item_name in after:
         owner = target.domain_for_item(item_name)
-        assert item_name in simpledb.authoritative_item_names(owner)
+        owning_backend = backends[target.backend_for(owner)]
+        assert item_name in owning_backend.authoritative_item_names(owner)
 
     # The rebalanced layout answers queries identically to a fresh load.
     from repro.query.engine import SimpleDBEngine
@@ -153,38 +153,35 @@ def test_per_shard_accounting_sums_exactly(seed, n_stages, shards, concurrency):
 def test_rebalance_shrink_deletes_orphaned_source_domains():
     events = random_workload(random.Random(5), 6)
     sim = loaded_simulation(events, shards=4)
-    simpledb = sim.account.simpledb
     source = sim.store.router
     target = ShardRouter(2)
     sim.account.quiesce()
-    report = rebalance(simpledb, source, target)
+    report = rebalance(sim.account, source, target)
     orphans = set(source.domains) - set(target.domains)
     assert sorted(report.domains_deleted) == sorted(orphans)
-    remaining = set(simpledb.list_domains())
+    remaining = all_store_names(sim.account)
     assert not (orphans & remaining), "shrink left orphaned domains behind"
     assert set(target.domains) <= remaining
     # Skew reporting now sees only the surviving layout.
-    assert set(target.item_counts(simpledb)) == set(target.domains)
+    assert set(target.item_counts(sim.account)) == set(target.domains)
 
 
 def test_rebalance_shrink_to_single_domain_restores_paper_layout():
     events = random_workload(random.Random(9), 5)
     sim = loaded_simulation(events, shards=3)
-    simpledb = sim.account.simpledb
     sim.account.quiesce()
-    report = rebalance(simpledb, sim.store.router, ShardRouter(1))
+    report = rebalance(sim.account, sim.store.router, ShardRouter(1))
     assert sorted(report.domains_deleted) == sorted(sim.store.router.domains)
-    assert simpledb.list_domains() == ["pass-prov"]
+    assert all_store_names(sim.account) == {"pass-prov"}
 
 
 def test_rebalance_grow_deletes_nothing_between_surviving_shards():
     events = random_workload(random.Random(11), 5)
     sim = loaded_simulation(events, shards=2)
-    simpledb = sim.account.simpledb
     sim.account.quiesce()
-    report = rebalance(simpledb, sim.store.router, ShardRouter(4))
+    report = rebalance(sim.account, sim.store.router, ShardRouter(4))
     assert report.domains_deleted == []
-    assert set(sim.store.router.domains) <= set(simpledb.list_domains())
+    assert set(sim.store.router.domains) <= all_store_names(sim.account)
 
 
 @settings(max_examples=30, deadline=None)

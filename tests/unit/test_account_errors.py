@@ -1,6 +1,5 @@
 """Unit tests for the account facade and the error hierarchy."""
 
-import pytest
 
 from repro import errors
 from repro.aws.account import AWSAccount, ConsistencyConfig

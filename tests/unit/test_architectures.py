@@ -3,11 +3,8 @@
 import pytest
 
 from repro.aws.faults import FaultPlan
-from repro.blob import BytesBlob
 from repro.core.base import DATA_BUCKET, PROV_DOMAIN
-from repro.core.s3_simpledb import S3SimpleDB
 from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
-from repro.core.s3_standalone import S3Standalone
 from repro.errors import ClientCrash, ReadCorrectnessViolation
 from repro.passlib.capture import PassSystem
 from repro.passlib.records import Attr

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.blob import BytesBlob
 from repro.errors import ObjectClosed, UnknownObject
 from repro.passlib.capture import PassSystem
 from repro.passlib.records import Attr

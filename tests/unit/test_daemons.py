@@ -5,7 +5,6 @@ import pytest
 from repro.aws.faults import FaultPlan
 from repro.core.base import DATA_BUCKET, PROV_DOMAIN
 from repro.errors import ClientCrash
-from repro.passlib.capture import PassSystem
 from repro.units import SECONDS_PER_DAY
 from tests.conftest import make_architecture, tiny_trace
 

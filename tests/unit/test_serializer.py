@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.blob import BytesBlob
 from repro.passlib.capture import PassSystem
-from repro.passlib.records import Attr, ObjectRef
+from repro.passlib.records import Attr
 from repro.passlib import serializer
 from repro.units import KB, S3_MAX_METADATA_SIZE
 

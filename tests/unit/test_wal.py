@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.aws.sqs import ReceivedMessage
-from repro.blob import BytesBlob, SyntheticBlob
+from repro.blob import SyntheticBlob
 from repro.core.wal import (
     MESSAGE_BUDGET,
     TransactionAssembler,
