@@ -17,6 +17,14 @@
 #                                sdb | ddb | mixed | "0:sdb,1:ddb"
 #                                (mixed = even shards on SimpleDB, odd on
 #                                the DynamoDB-style store; shard 0 stays sdb)
+#   REPRO_DDB_INDEXES=...        global secondary indexes on DynamoDB-placed
+#                                shards: comma-separated key attributes with
+#                                optional '+included' projections — e.g.
+#                                "name,input" (= 'auto'); unset/empty = none.
+#                                With indexes, Q2/Q3 on ddb shards are GSI
+#                                Queries (scan fallback when absent/stale);
+#                                bench_multibackend.py quantifies Scan vs GSI
+#                                vs SimpleDB-Select (it is in BENCH_SMOKE_FILES)
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest

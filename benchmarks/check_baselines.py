@@ -4,7 +4,11 @@ The whole evaluation is denominated in what the simulated AWS services
 meter, so a change that silently alters an operation or byte count is a
 perf (and cost) regression even when every result set is still correct.
 This script freezes the key totals — Q1/Q2/Q3 operations and bytes_out
-at shards ∈ {1, 4} over a fixed seeded workload — into
+at shards ∈ {1, 4} over a fixed seeded workload, for the all-SimpleDB
+placement (the paper baseline, keys ``shards=N/...``) and for the
+DynamoDB placement in both access regimes (Scan-served ``ddb-scan/...``
+and GSI-served ``ddb-gsi/...``, the latter also pinning the write
+path's index write-unit amplification) — into
 ``benchmarks/baselines.json`` and fails when a run drifts from the
 committed numbers.
 
@@ -43,27 +47,46 @@ SHARD_COUNTS = (1, 4)
 
 def measure() -> dict[str, int]:
     """Run the gate workload and return the metered totals, keyed flat."""
+    from repro.aws import billing
     from repro.sim import Simulation
     from repro.workloads import CombinedWorkload
 
     workload = CombinedWorkload()
     events = list(workload.iter_events(random.Random(f"bench-gate:{SEED}"), SCALE))
     totals: dict[str, int] = {}
-    for shards in SHARD_COUNTS:
-        # Placement pinned to all-SimpleDB: the gate freezes the paper
-        # backend's totals and must not inherit REPRO_BACKEND_PLACEMENT.
-        sim = Simulation(
-            architecture="s3+simpledb", seed=SEED, shards=shards, placement="sdb"
-        )
-        sim.store_events(events, collect=False)
-        engine = sim.query_engine()
-        q2 = engine.q2_outputs_of(PROGRAM)
-        q3 = engine.q3_descendants_of(PROGRAM)
-        q1 = engine.q1(q2.refs[0])
-        for name, measurement in (("q1", q1), ("q2", q2), ("q3", q3)):
-            totals[f"shards={shards}/{name}/ops"] = measurement.operations
-            totals[f"shards={shards}/{name}/bytes_out"] = measurement.bytes_out
-            totals[f"shards={shards}/{name}/results"] = measurement.result_count
+    # Placements and index specs pinned explicitly: the gate freezes
+    # each regime's totals and must inherit neither
+    # REPRO_BACKEND_PLACEMENT nor REPRO_DDB_INDEXES. The all-SimpleDB
+    # keys keep their historical names so any drift in the paper
+    # baseline stays byte-obvious in a diff.
+    regimes = (
+        ("shards={shards}", "sdb", ""),
+        ("ddb-scan/shards={shards}", "ddb", ""),
+        ("ddb-gsi/shards={shards}", "ddb", "name,input"),
+    )
+    for prefix_template, placement, indexes in regimes:
+        for shards in SHARD_COUNTS:
+            sim = Simulation(
+                architecture="s3+simpledb", seed=SEED, shards=shards,
+                placement=placement, ddb_indexes=indexes,
+            )
+            before = sim.account.meter.snapshot()
+            sim.store_events(events, collect=False)
+            load = sim.account.meter.snapshot() - before
+            prefix = prefix_template.format(shards=shards)
+            if indexes:
+                # Write amplification is part of the regime's contract.
+                totals[f"{prefix}/load/index_wcu"] = int(
+                    load.write_units(billing.DDB_GSI)
+                )
+            engine = sim.query_engine()
+            q2 = engine.q2_outputs_of(PROGRAM)
+            q3 = engine.q3_descendants_of(PROGRAM)
+            q1 = engine.q1(q2.refs[0])
+            for name, measurement in (("q1", q1), ("q2", q2), ("q3", q3)):
+                totals[f"{prefix}/{name}/ops"] = measurement.operations
+                totals[f"{prefix}/{name}/bytes_out"] = measurement.bytes_out
+                totals[f"{prefix}/{name}/results"] = measurement.result_count
     return totals
 
 

@@ -66,7 +66,14 @@ class AWSAccount:
         seed: int = 0,
         consistency: ConsistencyConfig | None = None,
         prices: PriceBook | None = None,
+        ddb_indexes: str | tuple | None = None,
     ):
+        """``ddb_indexes`` declares the global secondary indexes the
+        DynamoDB-style provenance backend provisions on every shard
+        table (a spec string like ``"name,input"``, ready
+        :class:`~repro.aws.dynamo.IndexSpec` objects, or ``None`` for
+        the ``REPRO_DDB_INDEXES`` environment default — no indexes when
+        that is unset)."""
         self.consistency = consistency or ConsistencyConfig.strong()
         self.clock = SimClock()
         self.meter = Meter(self.clock)
@@ -108,6 +115,7 @@ class AWSAccount:
             delays=delays,
             n_replicas=self.consistency.n_replicas,
         )
+        self._ddb_indexes = ddb_indexes
         self._provenance_backends = None
 
     def provenance_backends(self):
@@ -118,7 +126,9 @@ class AWSAccount:
 
             self._provenance_backends = {
                 SimpleDBBackend.kind: SimpleDBBackend(self.simpledb),
-                DynamoBackend.kind: DynamoBackend(self.dynamodb),
+                DynamoBackend.kind: DynamoBackend(
+                    self.dynamodb, index_specs=self._ddb_indexes
+                ),
             }
         return self._provenance_backends
 

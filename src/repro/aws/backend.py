@@ -22,11 +22,27 @@ Two implementations:
   ``UpdateItem`` (no 100-attribute batching — DynamoDB has no such
   limit), point reads become ``GetItem`` (eventually consistent by
   default, like SimpleDB replica reads; ``consistent_reads=True`` buys
-  strong reads at double the read units), and — because the service has
-  no query language — every query phase becomes a paged ``Scan`` with
-  the *same* compiled predicate applied client-side, so result sets are
-  identical across backends while the metered cost differs honestly.
-  Throttled requests back off by advancing the simulated clock.
+  strong reads at double the read units). Query phases are served from
+  a **global secondary index** when the table carries one whose key
+  attribute the predicate restricts by equality and whose projection
+  covers every attribute the predicate (and the caller's projection)
+  references: the adapter extracts the equality values from the *same*
+  compiled predicate SimpleDB evaluates server-side, pages the index
+  Query, and re-applies the predicate to the projected entries. When no
+  usable index exists — or the chosen index is lagging its base table
+  past ``index_staleness_bound`` simulated seconds — the phase falls
+  back to the paged ``Scan`` + client-side filter path, so result sets
+  are identical across backends while the metered cost differs
+  honestly. Throttled requests back off by advancing the simulated
+  clock.
+
+Index declarations come from :func:`parse_index_specs` (the
+``REPRO_DDB_INDEXES`` environment variable, a ``Simulation``/
+``ClientFleet`` argument, or ``repro demo --ddb-indexes``): a
+comma-separated list of key attributes, each optionally followed by
+``+included`` projection attributes — ``"name,input"`` declares the two
+provenance GSIs (program lookups key on ``name``, cross-reference
+phases on ``input``; both project ``type``) that serve Q2/Q3.
 
 Backend *kinds* are the short names placement maps use: ``"sdb"`` and
 ``"ddb"`` (see :func:`repro.sharding.parse_placement`).
@@ -34,10 +50,21 @@ Backend *kinds* are the short names placement maps use: ``"sdb"`` and
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, Protocol
 
-from repro.aws.dynamo import DynamoDBService
-from repro.aws.sdb_query import parse_query, run_query
+from repro.aws.dynamo import DynamoDBService, IndexSpec
+from repro.aws.sdb_query import (
+    BoolOp,
+    BracketPredicate,
+    Comparison,
+    CompiledQuery,
+    Node,
+    Not,
+    Null,
+    parse_query,
+    run_query,
+)
 from repro.aws.simpledb import Attribute, SimpleDBService
 from repro.errors import ProvisionedThroughputExceeded, ServiceUnavailable
 from repro.units import SDB_MAX_ATTRS_PER_CALL
@@ -46,6 +73,121 @@ from repro.units import SDB_MAX_ATTRS_PER_CALL
 SDB_KIND = "sdb"
 DDB_KIND = "ddb"
 BACKEND_KINDS = (SDB_KIND, DDB_KIND)
+
+#: Environment variable holding the default GSI spec for DynamoDB-placed
+#: shards (CI sets it to enable indexes for a whole suite pass).
+INDEX_ENV = "REPRO_DDB_INDEXES"
+
+#: What the ``"auto"`` spec enables: the two indexes the provenance
+#: query workload wants — Q2 phase 1 keys on ``name``, Q2 phase 2 and
+#: every Q3 BFS round key on ``input``; both project ``type`` so the
+#: engine's predicates and projections evaluate entirely on the index.
+DEFAULT_DDB_INDEXES = "name,input"
+
+#: Projection included when a spec names only the key attribute.
+DEFAULT_INDEX_INCLUDE = ("type",)
+
+#: How stale (simulated seconds of replication lag) an index may run
+#: before the adapter prefers a base-table Scan over querying it.
+INDEX_STALENESS_BOUND = 5.0
+
+
+def parse_index_specs(
+    spec: str | tuple[IndexSpec, ...] | list[IndexSpec] | None = None,
+) -> tuple[IndexSpec, ...]:
+    """Normalise a GSI spec to a tuple of :class:`IndexSpec`.
+
+    Accepted specs:
+
+    * ``None`` — the ``REPRO_DDB_INDEXES`` environment spec, or no
+      indexes when unset (the PR-3 scan-only behaviour);
+    * ``""`` / ``"none"`` / ``"off"`` — no indexes;
+    * ``"auto"`` / ``"default"`` / ``"on"`` — the provenance defaults
+      (:data:`DEFAULT_DDB_INDEXES`);
+    * ``"name,input"`` — one index per key attribute, projecting
+      :data:`DEFAULT_INDEX_INCLUDE`;
+    * ``"input+type+name"`` — explicit ``key+include+include`` parts;
+    * a sequence of ready :class:`IndexSpec` objects (passed through).
+
+    >>> [s.name for s in parse_index_specs("name,input")]
+    ['gsi-name', 'gsi-input']
+    """
+    if spec is None:
+        spec = os.environ.get(INDEX_ENV, "").strip()
+    if not isinstance(spec, str):
+        return tuple(spec)
+    text = spec.strip()
+    if not text or text.lower() in ("none", "off"):
+        return ()
+    if text.lower() in ("auto", "default", "on"):
+        text = DEFAULT_DDB_INDEXES
+    specs: list[IndexSpec] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, *include = [piece.strip() for piece in part.split("+")]
+        if not key or not all(include):
+            raise ValueError(f"bad DynamoDB index spec {spec!r}")
+        specs.append(
+            IndexSpec(
+                name=f"gsi-{key}",
+                key_attribute=key,
+                include=tuple(include) or DEFAULT_INDEX_INCLUDE,
+            )
+        )
+    return tuple(specs)
+
+
+def _equality_candidates(node: Node) -> dict[str, tuple[str, ...]]:
+    """Attributes a predicate pins to an equality value set.
+
+    For each returned ``attribute → values``, *every* item matching the
+    predicate has some value of that attribute inside ``values`` — the
+    superset guarantee that makes an index on the attribute a sound
+    access path (query the index for each value, then re-apply the full
+    predicate to the candidates).
+    """
+    if isinstance(node, BracketPredicate):
+        # CNF over one value: the satisfying value must be in any
+        # all-equality OR-group's value set.
+        for group in node.conjunctions:
+            if group and all(c.op == "=" for c in group):
+                return {
+                    node.attribute: tuple(dict.fromkeys(c.value for c in group))
+                }
+        return {}
+    if isinstance(node, Comparison):
+        if node.op == "=" and not node.every:
+            return {node.attribute: (node.value,)}
+        return {}
+    if isinstance(node, BoolOp):
+        left = _equality_candidates(node.left)
+        right = _equality_candidates(node.right)
+        if node.op == "and":
+            # Either side's restriction is a valid superset filter.
+            merged = dict(left)
+            merged.update(right)
+            return merged
+        # OR: only attributes restricted on *both* sides stay pinned.
+        return {
+            attribute: tuple(dict.fromkeys(left[attribute] + right[attribute]))
+            for attribute in left
+            if attribute in right
+        }
+    return {}  # Not / Null / MatchAll pin nothing
+
+
+def _referenced_attributes(node: Node) -> frozenset[str]:
+    """Every attribute the predicate reads — all must be projected for
+    the predicate to evaluate identically on index entries."""
+    if isinstance(node, (BracketPredicate, Comparison, Null)):
+        return frozenset((node.attribute,))
+    if isinstance(node, BoolOp):
+        return _referenced_attributes(node.left) | _referenced_attributes(node.right)
+    if isinstance(node, Not):
+        return _referenced_attributes(node.operand)
+    return frozenset()
 
 
 def _retry_unavailable(fn, *args, attempts: int = 4, **kwargs):
@@ -234,7 +376,15 @@ class DynamoBackend:
 
     ``consistent_reads=True`` upgrades point reads and scans to strongly
     consistent (double read units, no replica staleness) — per-backend
-    the choice SimpleDB never offered.
+    the choice SimpleDB never offered. Index queries stay eventually
+    consistent regardless (GSIs offer nothing stronger).
+
+    ``index_specs`` (a spec string or ready :class:`IndexSpec` tuple;
+    default: the ``REPRO_DDB_INDEXES`` environment spec) declares the
+    GSIs :meth:`provision` creates on every shard table; query phases
+    whose predicate an index can serve then use it instead of scanning,
+    unless the index's replication lag exceeds
+    ``index_staleness_bound`` simulated seconds.
     """
 
     kind = DDB_KIND
@@ -246,11 +396,27 @@ class DynamoBackend:
     #: per window must surface the throttle, not spin forever.
     max_backoffs = 400
 
-    def __init__(self, service: DynamoDBService, consistent_reads: bool = False):
+    def __init__(
+        self,
+        service: DynamoDBService,
+        consistent_reads: bool = False,
+        index_specs: str | tuple[IndexSpec, ...] | None = None,
+        index_staleness_bound: float | None = INDEX_STALENESS_BOUND,
+    ):
         self.service = service
         self.consistent_reads = consistent_reads
+        self.index_specs = parse_index_specs(index_specs)
+        self.index_staleness_bound = index_staleness_bound
         #: Throttle events ridden out (observability for benchmarks).
         self.throttled_requests = 0
+        #: query_pages calls served by a GSI Query.
+        self.gsi_queries = 0
+        #: query_pages calls that fell back to Scan (no usable index).
+        self.scan_fallbacks = 0
+        #: Fallbacks caused specifically by the staleness bound.
+        self.stale_index_fallbacks = 0
+        #: Write units spent backfilling indexes at provision time.
+        self.index_backfill_units = 0.0
 
     # Admission control: provisioned throughput is per simulated second,
     # so backing off means advancing the simulated clock — the client
@@ -265,7 +431,16 @@ class DynamoBackend:
         return _retry_unavailable(fn, *args, **kwargs)  # last try surfaces it
 
     def provision(self, store: str) -> None:
+        """Create the shard table and its declared GSIs (idempotent).
+
+        Creating an index on a table that already holds items backfills
+        it; the backfill's metered write units accumulate on
+        :attr:`index_backfill_units` (what a migration pays to make a
+        destination queryable by index).
+        """
         self.service.create_table(store)
+        for spec in self.index_specs:
+            self.index_backfill_units += self.service.create_index(store, spec)
 
     def drop(self, store: str) -> None:
         self.service.delete_table(store)
@@ -300,18 +475,107 @@ class DynamoBackend:
                 return
 
     def query_pages(self, store, expression, select, select_mode, attribute_names):
-        """Scan + client-side filtering with the *same* compiled
-        predicate SimpleDB evaluates server-side (``select`` and
-        ``select_mode`` are SimpleDB wire-language choices and do not
-        apply here). Every scanned item is paid for in read units; the
+        """Serve one logical query from a GSI when possible, else Scan.
+
+        The *same* compiled predicate SimpleDB evaluates server-side is
+        parsed here (``select`` and ``select_mode`` are SimpleDB wire
+        language choices and do not apply); if it pins an indexed
+        attribute to equality values and the index projection covers
+        everything the predicate and the caller read, the phase becomes
+        a paged index Query over those values — paying read units only
+        for matching projected entries — with the predicate re-applied
+        client-side (entries may be stale or partial mid-convergence)
+        and items deduplicated across entry keys. Otherwise it is the
+        scan path: every scanned item is paid for in read units; the
         projection trims only what the caller sees, not what the scan
-        cost — DynamoDB's filter-expression accounting."""
+        cost — DynamoDB's filter-expression accounting.
+        """
         compiled = parse_query(expression)
         wanted = None if attribute_names is None else set(attribute_names)
+        plan = self._index_plan(store, compiled, wanted)
+        if plan is not None:
+            spec, values = plan
+            self.gsi_queries += 1
+            yield from self._query_via_index(store, spec, values, compiled, wanted)
+            return
         for item_name, attrs in run_query(list(self._scan_all(store)), compiled):
             if wanted is not None:
                 attrs = {k: v for k, v in attrs.items() if k in wanted}
             yield item_name, dict(attrs)
+
+    def _index_plan(
+        self, store: str, compiled: CompiledQuery, wanted: set[str] | None
+    ) -> tuple[IndexSpec, tuple[str, ...]] | None:
+        """Choose a GSI access path for a compiled predicate, or None.
+
+        An index is usable when the predicate pins its key attribute to
+        an equality value set (the superset guarantee of
+        :func:`_equality_candidates`), its projection covers every
+        attribute the predicate references plus the caller's requested
+        projection, and its replication lag is inside the staleness
+        bound. Indexes are tried in declaration order.
+        """
+        specs = self.service.list_indexes(store)
+        if not specs:
+            return None
+        candidates = _equality_candidates(compiled.predicate)
+        referenced = _referenced_attributes(compiled.predicate)
+        stale = False
+        for spec in specs:
+            values = candidates.get(spec.key_attribute)
+            if not values:
+                continue
+            projection = spec.projected_attributes
+            if not referenced <= projection:
+                continue
+            if wanted is None or not wanted <= projection:
+                continue
+            lag = self.service.index_lag_seconds(store, spec.name)
+            if (
+                self.index_staleness_bound is not None
+                and lag > self.index_staleness_bound
+            ):
+                stale = True
+                continue
+            return spec, values
+        if stale:
+            self.stale_index_fallbacks += 1
+        self.scan_fallbacks += 1
+        return None
+
+    def _query_via_index(
+        self,
+        store: str,
+        spec: IndexSpec,
+        values: tuple[str, ...],
+        compiled: CompiledQuery,
+        wanted: set[str] | None,
+    ):
+        """Paged batch Query over one index, deduplicated and re-filtered."""
+        seen: set[str] = set()
+        start_key: str | None = None
+        ordered = sorted(set(values))
+        while True:
+            page = self._with_backoff(
+                self.service.query_index,
+                store,
+                spec.name,
+                ordered,
+                exclusive_start_key=start_key,
+            )
+            for item_name, attrs in page.entries:
+                if item_name in seen:
+                    continue
+                if not compiled.matches(attrs):
+                    continue
+                seen.add(item_name)
+                if wanted is None:
+                    yield item_name, dict(attrs)
+                else:
+                    yield item_name, {k: v for k, v in attrs.items() if k in wanted}
+            start_key = page.last_evaluated_key
+            if start_key is None:
+                return
 
     def enumerate_items(self, store):
         """Scan pages already carry full items — no per-item round trip

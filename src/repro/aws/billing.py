@@ -50,6 +50,11 @@ S3 = "s3"
 SDB = "simpledb"
 SQS = "sqs"
 DDB = "dynamodb"
+#: The DynamoDB-style store's global secondary indexes. A separate meter
+#: key so index maintenance (write amplification), index storage, and
+#: Query-on-index read units surface as their own billing lines instead
+#: of hiding inside the base table's totals.
+DDB_GSI = "dynamodb-gsi"
 
 #: Request classes that S3 bills at the PUT tier ($0.01 / 1,000).
 S3_PUT_CLASS = frozenset({"PUT", "COPY", "POST", "LIST"})
@@ -432,6 +437,26 @@ class PriceBook:
         lines.append(("dynamodb.transfer.in", usage.transfer_in(DDB) / GB * self.ddb_transfer_in_gb))
         lines.append(("dynamodb.transfer.out", usage.transfer_out(DDB) / GB * self.ddb_transfer_out_gb))
         lines.append(("dynamodb.storage", usage.gb_months(DDB) * self.ddb_storage_gb_month))
+        # Global secondary indexes: same request-unit and storage rates
+        # as the base table, but itemised separately so the price of
+        # *having* an index (write amplification + projected storage)
+        # and of *querying* it are auditable line by line.
+        lines.append((
+            "dynamodb.gsi.read_units",
+            usage.read_units(DDB_GSI) / 1_000_000 * self.ddb_read_per_million_units,
+        ))
+        lines.append((
+            "dynamodb.gsi.write_units",
+            usage.write_units(DDB_GSI) / 1_000_000 * self.ddb_write_per_million_units,
+        ))
+        lines.append((
+            "dynamodb.gsi.transfer.out",
+            usage.transfer_out(DDB_GSI) / GB * self.ddb_transfer_out_gb,
+        ))
+        lines.append((
+            "dynamodb.gsi.storage",
+            usage.gb_months(DDB_GSI) * self.ddb_storage_gb_month,
+        ))
 
         sqs_ops = usage.request_count(SQS)
         lines.append(("sqs.requests", sqs_ops / 10000 * self.sqs_per_10000_requests))
@@ -459,12 +484,16 @@ class CostReport:
         return totals
 
     def render(self) -> str:
-        """Human-readable, line-itemed report."""
-        width = max((len(label) for label, _ in self.lines), default=10)
+        """Human-readable, line-itemed report.
+
+        The label column is sized to the rows actually printed (zero
+        amount lines are dropped), so adding billing lines for services
+        a deployment never touched cannot reflow its bill.
+        """
+        printed = [(label, amount) for label, amount in self.lines if amount]
+        width = max((len(label) for label, _ in printed), default=10)
         rows = [
-            f"  {label:<{width}}  ${amount:10.4f}"
-            for label, amount in self.lines
-            if amount
+            f"  {label:<{width}}  ${amount:10.4f}" for label, amount in printed
         ]
         rows.append(f"  {'TOTAL':<{width}}  ${self.total:10.4f}")
         return "\n".join(rows)

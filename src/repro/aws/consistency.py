@@ -97,6 +97,14 @@ class ReplicaSet(Generic[V]):
             {} for _ in range(n_replicas)
         ]
         self.stale_reads = 0  # reads that returned a non-authoritative value
+        #: Replica installs scheduled on the clock but not yet applied —
+        #: the observable replication lag (e.g. a GSI's backlog).
+        self.pending_installs = 0
+        # Outstanding installs bucketed by the clock time their write
+        # was issued (install delays are random, so completions arrive
+        # out of order — a single "busy since" timestamp would overstate
+        # the lag under a steady write stream).
+        self._pending_issue_times: dict[float, int] = {}
 
     # -- writing ----------------------------------------------------------
 
@@ -120,13 +128,30 @@ class ReplicaSet(Generic[V]):
             if delay <= 0:
                 self._install(replica, key, version, value)
             else:
+                issued_at = self._clock.now
+                self.pending_installs += 1
+                self._pending_issue_times[issued_at] = (
+                    self._pending_issue_times.get(issued_at, 0) + 1
+                )
                 self._clock.call_after(
                     delay,
-                    lambda r=replica, k=key, ver=version, v=value: self._install(
-                        r, k, ver, v
+                    lambda r=replica, k=key, ver=version, v=value, t=issued_at: (
+                        self._install_pending(r, k, ver, v, t)
                     ),
                 )
         return version
+
+    def _install_pending(
+        self, replica: dict[str, tuple[int, object]], key: str, version: int,
+        value: object, issued_at: float,
+    ) -> None:
+        self._install(replica, key, version, value)
+        self.pending_installs -= 1
+        remaining = self._pending_issue_times[issued_at] - 1
+        if remaining:
+            self._pending_issue_times[issued_at] = remaining
+        else:
+            del self._pending_issue_times[issued_at]
 
     @staticmethod
     def _install(
@@ -185,6 +210,22 @@ class ReplicaSet(Generic[V]):
             yield key, self._authority[key]  # type: ignore[misc]
 
     # -- convergence ------------------------------------------------------
+
+    def lag_seconds(self) -> float:
+        """How long the oldest still-propagating write has been in flight.
+
+        ``0.0`` when every scheduled install has landed. This is the
+        replication-lag signal a client can act on (the DynamoDB-style
+        backend's GSI staleness bound reads it); it measures *pending*
+        work, so a quiesced replica set always reports zero, and under
+        a steady write stream it is bounded by the delay window (the
+        oldest outstanding install, not the length of the busy period).
+        The ``min`` walks one bucket per distinct issue instant still
+        outstanding — bounded by the delay window, not by history.
+        """
+        if not self._pending_issue_times:
+            return 0.0
+        return max(0.0, self._clock.now - min(self._pending_issue_times))
 
     def is_converged(self) -> bool:
         """True when every replica equals the authoritative view."""

@@ -24,22 +24,36 @@ shard placement decision interesting:
   the same :class:`~repro.aws.consistency.ReplicaSet` machinery as the
   2009 services (and cost half the read units), strong reads see the
   authoritative state (and cost double);
-* **no query language**: there is no secondary index over attributes,
-  so the query engine's scatter phases read a DynamoDB-placed shard
-  with paged ``Scan`` + client-side filtering instead of SimpleDB's
-  server-side ``Query`` — the cost asymmetry the multibackend benchmark
-  measures.
+* **no query language — but global secondary indexes**: the base table
+  still answers attribute predicates only by paged ``Scan`` +
+  client-side filtering, but a table may carry named **GSIs**
+  (:class:`IndexSpec`): for each value of a chosen attribute the index
+  holds a compact projected entry per item. Index maintenance is
+  **asynchronous** — every ``UpdateItem``/``DeleteItem`` propagates to
+  the index's own :class:`~repro.aws.consistency.ReplicaSet` on its own
+  replica schedule (real GSIs are eventually consistent, full stop:
+  ``query_index`` never offers a strongly consistent read) — and is
+  charged as **write amplification**: each changed index entry consumes
+  write units sized by the projected entry, metered on the distinct
+  :data:`~repro.aws.billing.DDB_GSI` key, as is index storage and
+  Query-on-index read capacity. Creating an index on a populated table
+  backfills it, with the backfill metered the same way.
 
 Sizes follow DynamoDB's accounting: an item's size is the sum of UTF-8
 attribute-name and value bytes plus the key; capacity units round up per
 item (reads aggregate per page for ``Scan``, as BatchGetItem would).
+Pages — ``Scan`` and index ``Query`` alike — are bounded by a byte
+budget (:data:`~repro.units.DDB_PAGE_BYTES`, the simulation-scale
+analogue of DynamoDB's 1 MB page): a scan spends it on every item it
+crosses, an index page only on matching projected entries, which is
+exactly why indexed queries need fewer round trips.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import errors, units
 from repro.aws import billing
@@ -75,6 +89,54 @@ def _write_units_for(nbytes: int) -> float:
     return float(max(1, math.ceil(nbytes / units.DDB_WCU_BYTES)))
 
 
+#: Separator composing an index entry key from (key value, item name).
+#: NUL cannot appear in serialised provenance attributes, and it sorts
+#: before every printable byte, so entries order by (value, item name).
+INDEX_KEY_SEP = "\x00"
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Declaration of one global secondary index.
+
+    ``key_attribute`` is the indexed attribute: every *value* of it
+    becomes an index key (multi-valued attributes produce one entry per
+    value, the string-set analogue of DynamoDB's one-entry-per-item).
+    The projection carried by each entry is the key attribute itself
+    plus the ``include`` list — queries whose predicate or requested
+    attributes reach outside the projection cannot be served by the
+    index. Items lacking the attribute have no entries (sparse index).
+    """
+
+    name: str
+    key_attribute: str
+    include: tuple[str, ...] = ()
+
+    @property
+    def projected_attributes(self) -> frozenset[str]:
+        return frozenset((self.key_attribute, *self.include))
+
+
+def index_entry_key(key_value: str, item_name: str) -> str:
+    """The index keyspace position of one (value, item) entry."""
+    return f"{key_value}{INDEX_KEY_SEP}{item_name}"
+
+
+def _project(state: ItemState, spec: IndexSpec) -> ItemState:
+    projected = spec.projected_attributes
+    return {name: values for name, values in state.items() if name in projected}
+
+
+def _entry_size(entry_key: str, projected: ItemState) -> int:
+    """Stored size of one index entry (key bytes + projection + the
+    per-entry index overhead DynamoDB bills)."""
+    return (
+        units.DDB_INDEX_ENTRY_OVERHEAD
+        + len(entry_key.encode())
+        + _attr_size(projected)
+    )
+
+
 def _read_units_for(nbytes: int, consistent: bool) -> float:
     """Read capacity units for ``nbytes`` (strong = 4 KB steps, eventual
     half that; a miss still costs the minimum unit)."""
@@ -94,6 +156,34 @@ class ScanResult:
         return tuple(name for name, _ in self.items)
 
 
+@dataclass(frozen=True)
+class IndexQueryResult:
+    """One page of a Query against a global secondary index.
+
+    ``entries`` are (item name, projected attributes) pairs in index
+    order — by (key value, item name), so an item whose indexed
+    attribute holds several queried values appears once per value and
+    the caller deduplicates. ``last_evaluated_key`` is the opaque
+    pagination token (the last entry's index key position).
+    """
+
+    entries: tuple[tuple[str, ItemState], ...]
+    last_evaluated_key: str | None
+
+
+@dataclass
+class _Index:
+    """One GSI: its declaration plus the replicated entry space.
+
+    The replica set's *authoritative* view is what the index converges
+    to; reads always come off replicas — there is no strongly
+    consistent index read to buy, mirroring real GSIs.
+    """
+
+    spec: IndexSpec
+    replicas: ReplicaSet
+
+
 @dataclass
 class _Table:
     """One table: replicated state plus provisioned-throughput ledger."""
@@ -102,6 +192,7 @@ class _Table:
     authority: dict[str, ItemState]
     read_capacity: int
     write_capacity: int
+    indexes: dict[str, _Index] = field(default_factory=dict)
     # Admission-control window: consumption within the current simulated
     # second, reset when the clock enters a new second.
     window_start: float = 0.0
@@ -167,11 +258,20 @@ class DynamoDBService:
     def delete_table(self, name: str) -> None:
         self._request("DeleteTable")
         removed = self._tables.pop(name, None)
-        if removed and removed.authority:
+        if removed is None:
+            return
+        if removed.authority:
             freed = sum(
                 _item_size(key, state) for key, state in removed.authority.items()
             )
             self._meter.adjust_stored(billing.DDB, -freed)
+        index_freed = sum(
+            _entry_size(entry_key, projected)
+            for index in removed.indexes.values()
+            for entry_key, projected in index.replicas.authoritative_items()
+        )
+        if index_freed:
+            self._meter.adjust_stored(billing.DDB_GSI, -index_freed)
 
     @synchronized
     def list_tables(self) -> list[str]:
@@ -183,6 +283,137 @@ class DynamoDBService:
         if table is None:
             raise errors.NoSuchTable(name)
         return table
+
+    # -- secondary indexes --------------------------------------------------
+
+    @synchronized
+    def create_index(self, table_name: str, spec: IndexSpec) -> float:
+        """Create a GSI, backfilling it from the base table.
+
+        Idempotent by index name (re-creating leaves the existing index
+        untouched). The backfill writes one projected entry per
+        (item, key value) pair through the index's replica machinery —
+        entries land on the index's own schedule — and is metered as
+        index write units plus index storage on the
+        :data:`~repro.aws.billing.DDB_GSI` billing key. Returns the
+        write units the backfill consumed (0.0 for an empty table or an
+        already-existing index). Backfill bypasses the table's
+        provisioned-throughput window, like DynamoDB's background
+        backfill.
+        """
+        table = self._table(table_name)
+        self._check_faults("CreateIndex")
+        self._meter.record_request(billing.DDB, "CreateIndex")
+        if spec.name in table.indexes:
+            return 0.0
+        index = _Index(
+            spec=spec,
+            replicas=ReplicaSet(
+                f"ddb/{table_name}/{spec.name}",
+                self._clock,
+                self._rng,
+                self._n_replicas,
+                self._delays,
+            ),
+        )
+        table.indexes[spec.name] = index
+        backfill_units = 0.0
+        stored = 0
+        for key, state in table.authority.items():
+            projected = _project(state, spec)
+            for value in state.get(spec.key_attribute, ()):
+                entry_key = index_entry_key(value, key)
+                size = _entry_size(entry_key, projected)
+                backfill_units += _write_units_for(size)
+                stored += size
+                index.replicas.write(entry_key, dict(projected))
+        if backfill_units:
+            self._meter.record_capacity(billing.DDB_GSI, write_units=backfill_units)
+        if stored:
+            self._meter.adjust_stored(billing.DDB_GSI, stored)
+        return backfill_units
+
+    @synchronized
+    def delete_index(self, table_name: str, index_name: str) -> None:
+        """Drop a GSI and free its projected storage (idempotent)."""
+        table = self._table(table_name)
+        self._check_faults("DeleteIndex")
+        self._meter.record_request(billing.DDB, "DeleteIndex")
+        index = table.indexes.pop(index_name, None)
+        if index is None:
+            return
+        freed = sum(
+            _entry_size(entry_key, projected)
+            for entry_key, projected in index.replicas.authoritative_items()
+        )
+        if freed:
+            self._meter.adjust_stored(billing.DDB_GSI, -freed)
+
+    @synchronized
+    def list_indexes(self, table_name: str) -> list[IndexSpec]:
+        """The table's index declarations, in creation order. Unmetered:
+        clients cache table schemas (DescribeTable) between requests."""
+        table = self._tables.get(table_name)
+        if table is None:
+            return []
+        return [index.spec for index in table.indexes.values()]
+
+    @synchronized
+    def index_lag_seconds(self, table_name: str, index_name: str) -> float:
+        """Replication lag of an index: how long its oldest still
+        propagating entry has been in flight (0.0 when converged).
+        Unmetered observability, the CloudWatch-metric analogue."""
+        return self._index(table_name, index_name).replicas.lag_seconds()
+
+    @synchronized
+    def index_pending_writes(self, table_name: str, index_name: str) -> int:
+        """Scheduled-but-unapplied index entry installs (lag backlog)."""
+        return self._index(table_name, index_name).replicas.pending_installs
+
+    def _index(self, table_name: str, index_name: str) -> _Index:
+        index = self._table(table_name).indexes.get(index_name)
+        if index is None:
+            raise errors.NoSuchIndex(
+                f"table {table_name!r} has no index {index_name!r}"
+            )
+        return index
+
+    def _index_put_plan(self, table: _Table, key: str, new_state: ItemState):
+        """Index maintenance a base write triggers: (writes, units).
+
+        Only entries whose projected state actually changes are written
+        and charged — a replayed idempotent put amplifies nothing, like
+        real GSIs (no index write when key and projection are unchanged).
+        """
+        writes: list[tuple[_Index, str, ItemState, int]] = []
+        units_total = 0.0
+        for index in table.indexes.values():
+            projected = _project(new_state, index.spec)
+            for value in new_state.get(index.spec.key_attribute, ()):
+                entry_key = index_entry_key(value, key)
+                old = index.replicas.read_authoritative(entry_key)
+                if old == projected:
+                    continue
+                old_size = _entry_size(entry_key, old) if old is not None else 0
+                new_size = _entry_size(entry_key, projected)
+                units_total += _write_units_for(max(old_size, new_size))
+                writes.append((index, entry_key, projected, new_size - old_size))
+        return writes, units_total
+
+    def _index_delete_plan(self, table: _Table, key: str, old_state: ItemState):
+        """Index maintenance a base delete triggers: (deletes, units)."""
+        deletes: list[tuple[_Index, str, int]] = []
+        units_total = 0.0
+        for index in table.indexes.values():
+            for value in old_state.get(index.spec.key_attribute, ()):
+                entry_key = index_entry_key(value, key)
+                old = index.replicas.read_authoritative(entry_key)
+                if old is None:
+                    continue
+                size = _entry_size(entry_key, old)
+                units_total += _write_units_for(size)
+                deletes.append((index, entry_key, size))
+        return deletes, units_total
 
     # -- provisioned-throughput admission control ---------------------------
 
@@ -220,7 +451,14 @@ class DynamoDBService:
         Set semantics make replays idempotent — the property A3's commit
         daemon replay correctness rests on, preserved per backend.
         Consumes write units for the *larger* of the item's size before
-        and after the update (DynamoDB's update accounting).
+        and after the update (DynamoDB's update accounting), **plus**
+        one index write per GSI entry the update changes — the write
+        amplification of having indexes, metered on the distinct
+        :data:`~repro.aws.billing.DDB_GSI` key and charged against the
+        same provisioned-throughput window (an underprovisioned index
+        back-pressures its base table). Index entries propagate through
+        the index's own replica schedule — the asynchronous maintenance
+        real GSIs perform.
         """
         if not adds:
             raise errors.ItemSizeLimitExceeded("update_item requires attributes")
@@ -241,8 +479,9 @@ class DynamoDBService:
                 f"(limit {units.DDB_MAX_ITEM_SIZE})"
             )
         write_units = _write_units_for(max(old_size, new_size))
+        index_writes, index_units = self._index_put_plan(table, key, state)
         self._check_faults("UpdateItem")
-        self._admit(table, 0.0, write_units)
+        self._admit(table, 0.0, write_units + index_units)
         self._meter.record_request(billing.DDB, "UpdateItem")
         self._meter.record_capacity(billing.DDB, write_units=write_units)
         self._meter.record_transfer_in(
@@ -252,17 +491,30 @@ class DynamoDBService:
         self._meter.adjust_stored(billing.DDB, new_size - old_size)
         table.authority[key] = state
         table.replicas.write(key, dict(state))
+        if index_writes:
+            self._meter.record_capacity(billing.DDB_GSI, write_units=index_units)
+            stored_delta = sum(delta for _, _, _, delta in index_writes)
+            if stored_delta:
+                self._meter.adjust_stored(billing.DDB_GSI, stored_delta)
+            for index, entry_key, projected, _ in index_writes:
+                index.replicas.write(entry_key, dict(projected))
 
     @synchronized
     def delete_item(self, table_name: str, key: str) -> None:
         """Delete an item. Idempotent: deleting an absent item succeeds
-        (and still consumes the minimum write unit, as DynamoDB does)."""
+        (and still consumes the minimum write unit, as DynamoDB does).
+        Every GSI entry the item held is deleted too, each costing index
+        write units sized by the entry it removes."""
         table = self._table(table_name)
         state = table.authority.get(key)
         old_size = _item_size(key, state) if state is not None else 0
         write_units = _write_units_for(old_size)
+        index_deletes, index_units = (
+            self._index_delete_plan(table, key, state) if state is not None
+            else ([], 0.0)
+        )
         self._check_faults("DeleteItem")
-        self._admit(table, 0.0, write_units)
+        self._admit(table, 0.0, write_units + index_units)
         self._meter.record_request(billing.DDB, "DeleteItem")
         self._meter.record_capacity(billing.DDB, write_units=write_units)
         if state is None:
@@ -270,6 +522,13 @@ class DynamoDBService:
         del table.authority[key]
         self._meter.adjust_stored(billing.DDB, -_attr_size(state) - len(key.encode()))
         table.replicas.delete(key)
+        if index_deletes:
+            self._meter.record_capacity(billing.DDB_GSI, write_units=index_units)
+            self._meter.adjust_stored(
+                billing.DDB_GSI, -sum(size for _, _, size in index_deletes)
+            )
+            for index, entry_key, _ in index_deletes:
+                index.replicas.delete(entry_key)
 
     # -- reads --------------------------------------------------------------
 
@@ -305,7 +564,11 @@ class DynamoDBService:
 
         Read units are charged for every item *scanned* on the page (the
         whole point of scan-based filtering being expensive), aggregated
-        per page before rounding — DynamoDB's scan accounting.
+        per page before rounding — DynamoDB's scan accounting. A page
+        ends at ``limit`` items or when its byte budget
+        (:data:`~repro.units.DDB_PAGE_BYTES`) is spent, whichever comes
+        first (the last item may overshoot the budget, as DynamoDB's
+        1 MB pages do).
         """
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
@@ -318,8 +581,15 @@ class DynamoDBService:
             snapshot = [(k, dict(v)) for k, v in table.replicas.items_snapshot()]
         if exclusive_start_key is not None:
             snapshot = [(k, v) for k, v in snapshot if k > exclusive_start_key]
-        page = snapshot[: min(limit, SCAN_MAX_PAGE)]
-        scanned_bytes = sum(_item_size(k, v) for k, v in page)
+        page: list[tuple[str, ItemState]] = []
+        scanned_bytes = 0
+        for key, state in snapshot:
+            page.append((key, state))
+            scanned_bytes += _item_size(key, state)
+            if len(page) >= min(limit, SCAN_MAX_PAGE):
+                break
+            if scanned_bytes >= units.DDB_PAGE_BYTES:
+                break
         base = float(max(1, math.ceil(scanned_bytes / units.DDB_RCU_BYTES)))
         read_units = base if consistent else base / 2.0
         self._check_faults("Scan")
@@ -333,6 +603,76 @@ class DynamoDBService:
         return ScanResult(
             items=tuple((k, dict(v)) for k, v in page),
             last_evaluated_key=last_key,
+        )
+
+    @synchronized
+    def query_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_values: list[str],
+        exclusive_start_key: str | None = None,
+        limit: int = SCAN_MAX_PAGE,
+    ) -> IndexQueryResult:
+        """One page of a Query against a GSI, for any of ``key_values``.
+
+        Accepting several key values in one request is the batch-query
+        front-end (the IN-list analogue of SimpleDB's disjunctions),
+        kept so request counts stay comparable across backends. Reads
+        are **always eventually consistent** — entries come off one of
+        the index's replicas, which converge on their own schedule —
+        and read units are charged on the projected entry bytes the
+        page crosses (min one unit, halved for the eventual read),
+        metered on the :data:`~repro.aws.billing.DDB_GSI` billing key.
+        Pages bound by ``limit`` items or the shared byte budget.
+        """
+        if not key_values:
+            raise ValueError("query_index requires at least one key value")
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        table = self._table(table_name)
+        index = table.indexes.get(index_name)
+        if index is None:
+            raise errors.NoSuchIndex(
+                f"table {table_name!r} has no index {index_name!r}"
+            )
+        wanted = set(key_values)
+        matches: list[tuple[str, str, ItemState]] = []
+        for entry_key, projected in index.replicas.items_snapshot():
+            value, _, item_name = entry_key.partition(INDEX_KEY_SEP)
+            if value not in wanted:
+                continue
+            if exclusive_start_key is not None and entry_key <= exclusive_start_key:
+                continue
+            matches.append((entry_key, item_name, projected))
+        page: list[tuple[str, str, ItemState]] = []
+        page_bytes = 0
+        for entry_key, item_name, projected in matches:
+            page.append((entry_key, item_name, dict(projected)))
+            page_bytes += _entry_size(entry_key, projected)
+            if len(page) >= min(limit, SCAN_MAX_PAGE):
+                break
+            if page_bytes >= units.DDB_PAGE_BYTES:
+                break
+        base = float(max(1, math.ceil(page_bytes / units.DDB_RCU_BYTES)))
+        read_units = base / 2.0  # no strongly consistent GSI reads exist
+        self._check_faults("Query")
+        self._admit(table, read_units, 0.0)
+        self._meter.record_request(billing.DDB_GSI, "Query")
+        self._meter.record_capacity(billing.DDB_GSI, read_units=read_units)
+        self._meter.record_transfer_out(
+            billing.DDB_GSI,
+            sum(
+                len(item_name.encode()) + _attr_size(projected)
+                for _, item_name, projected in page
+            ),
+        )
+        last = page[-1][0] if page and len(matches) > len(page) else None
+        return IndexQueryResult(
+            entries=tuple(
+                (item_name, projected) for _, item_name, projected in page
+            ),
+            last_evaluated_key=last,
         )
 
     # -- oracle helpers (tests/migration verification) ----------------------
@@ -360,6 +700,24 @@ class DynamoDBService:
         """(read_capacity, write_capacity) units/second for a table."""
         table = self._table(table_name)
         return table.read_capacity, table.write_capacity
+
+    @synchronized
+    def authoritative_index_entries(
+        self, table_name: str, index_name: str
+    ) -> dict[tuple[str, str], ItemState]:
+        """The index's converged view: (key value, item name) →
+        projected attributes. Oracle read bypassing index replication."""
+        index = self._index(table_name, index_name)
+        entries: dict[tuple[str, str], ItemState] = {}
+        for entry_key, projected in index.replicas.authoritative_items():
+            value, _, item_name = entry_key.partition(INDEX_KEY_SEP)
+            entries[(value, item_name)] = dict(projected)
+        return entries
+
+    @synchronized
+    def index_converged(self, table_name: str, index_name: str) -> bool:
+        """True when every index replica matches the converged view."""
+        return self._index(table_name, index_name).replicas.is_converged()
 
     # -- internals ----------------------------------------------------------
 

@@ -154,8 +154,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
         sim = Simulation(architecture=args.architecture or "s3+simpledb+sqs",
                          seed=args.seed, shards=args.shards,
                          placement=args.backend,
-                         concurrency=args.concurrency)
-    except ValueError as exc:  # e.g. a malformed --backend placement spec
+                         concurrency=args.concurrency,
+                         ddb_indexes=args.ddb_indexes)
+    except ValueError as exc:  # e.g. a malformed --backend/--ddb-indexes spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.shards > 1:
@@ -173,6 +174,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
             f"{domain}->{kind}" for domain, kind in router.placement_by_domain().items()
         )
         print(f"heterogeneous shard placement: {placed}")
+        ddb_backend = sim.account.provenance_backends()["ddb"]
+        if ddb_backend.index_specs:
+            declared = ", ".join(
+                f"{spec.name}({spec.key_attribute}; projects "
+                f"{'+'.join(sorted(spec.projected_attributes))})"
+                for spec in ddb_backend.index_specs
+            )
+            print(f"DDB global secondary indexes: {declared}")
     pas = PassSystem(workload="demo")
     pas.stage_input("demo/input.csv", b"x,y\n1,2\n")
     with pas.process("analyze", argv="--quick") as proc:
@@ -275,6 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
         "store), 'ddb' (the DynamoDB-style store), 'mixed' (even shards "
         "on sdb, odd on ddb), or explicit '0:sdb,1:ddb' pairs; default "
         "is the REPRO_BACKEND_PLACEMENT environment spec or all-sdb",
+    )
+    demo.add_argument(
+        "--ddb-indexes", default=None, metavar="SPEC",
+        help="global secondary indexes for DynamoDB-placed shards: "
+        "comma-separated key attributes, each optionally with "
+        "'+included' projection attributes (e.g. 'name,input' or "
+        "'input+type+name'); 'auto' enables the provenance defaults "
+        "(name,input — what serves Q2/Q3 by index Query instead of "
+        "Scan), '' disables; default is the REPRO_DDB_INDEXES "
+        "environment spec or no indexes",
     )
     demo.set_defaults(handler=cmd_demo)
 

@@ -124,6 +124,12 @@ class ItemSizeLimitExceeded(AWSError):
     code = "ValidationException"
 
 
+class NoSuchIndex(AWSError):
+    """A DynamoDB-style Query named a secondary index the table lacks."""
+
+    code = "ResourceNotFoundException"
+
+
 class ProvisionedThroughputExceeded(AWSError):
     """A DynamoDB-style request was throttled: the table's provisioned
     read or write capacity is exhausted for the current second. Clients

@@ -64,12 +64,19 @@ class ClientFleet:
         shards: int = 1,
         placement: str | dict[int, str] | None = None,
         concurrency: int | None = None,
+        ddb_indexes: str | tuple | None = None,
     ):
+        """``ddb_indexes`` declares GSIs on DynamoDB-placed provenance
+        shards (spec string like ``"name,input"``; default the
+        ``REPRO_DDB_INDEXES`` environment spec) — shared by the whole
+        fleet, like the shard layout itself."""
         if architecture not in _FACTORIES:
             raise ValueError(f"unknown architecture {architecture!r}")
         self.architecture = architecture
         self.account = AWSAccount(
-            seed=seed, consistency=consistency or ConsistencyConfig.strong()
+            seed=seed,
+            consistency=consistency or ConsistencyConfig.strong(),
+            ddb_indexes=ddb_indexes,
         )
         #: One seeded stream drives every fleet-level random choice —
         #: never the module-level ``random`` state, which other tests

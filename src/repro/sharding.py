@@ -312,6 +312,12 @@ class RebalanceReport:
     cross_backend_moves: int = 0
     moves_by_domain: dict[str, int] = field(default_factory=dict)
     domains_deleted: list[str] = field(default_factory=list)
+    #: Write units spent creating/backfilling/maintaining global
+    #: secondary indexes on DynamoDB-placed destination shards during
+    #: the migration — the metered price of making the target layout
+    #: index-queryable. 0.0 when no target shard declares indexes (or
+    #: when ``cloud`` exposes no billing meter to measure against).
+    index_write_units: float = 0.0
 
 
 def rebalance(
@@ -351,6 +357,14 @@ def rebalance(
     """
     backends = _resolve_backends(cloud)
     report = RebalanceReport()
+    # Index-backfill accounting: destination provisioning creates any
+    # declared GSIs and every migrated put maintains them; the meter
+    # delta over the whole migration is the index cost of the move.
+    meter = getattr(cloud, "meter", None)
+    if meter is not None:
+        from repro.aws.billing import DDB_GSI
+
+        index_units_before = meter.snapshot().write_units(DDB_GSI)
     target.provision(backends)
     target_sites = set(target.placement_by_domain().items())
     for source_domain in source.domains:
@@ -388,6 +402,10 @@ def rebalance(
         if source_backend.item_count(source_domain) == 0:
             source_backend.drop(source_domain)
             report.domains_deleted.append(source_domain)
+    if meter is not None:
+        report.index_write_units = (
+            meter.snapshot().write_units(DDB_GSI) - index_units_before
+        )
     return report
 
 

@@ -52,6 +52,7 @@ class Simulation:
         shards: int = 1,
         placement: str | dict[int, str] | None = None,
         concurrency: int | None = None,
+        ddb_indexes: str | tuple | None = None,
         **architecture_kwargs,
     ):
         """``shards``/``placement`` pick the provenance layout: N stores
@@ -59,7 +60,11 @@ class Simulation:
         placement spec names (``"sdb"``, ``"ddb"``, ``"mixed"``,
         ``"0:sdb,1:ddb"``, or a ``{index: kind}`` map — default
         all-SimpleDB, or the ``REPRO_BACKEND_PLACEMENT`` environment
-        spec)."""
+        spec). ``ddb_indexes`` declares global secondary indexes on
+        DynamoDB-placed shards (``"name,input"``, ``"auto"``, ``""`` for
+        none — default the ``REPRO_DDB_INDEXES`` environment spec), so
+        Q2/Q3 phases on those shards are index Queries instead of
+        Scans."""
         if architecture not in _FACTORIES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -68,7 +73,9 @@ class Simulation:
         self.architecture = architecture
         self.seed = seed
         self.account = AWSAccount(
-            seed=seed, consistency=consistency or ConsistencyConfig.strong()
+            seed=seed,
+            consistency=consistency or ConsistencyConfig.strong(),
+            ddb_indexes=ddb_indexes,
         )
         retry = RetryPolicy(
             attempts=retry_attempts,

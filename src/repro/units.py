@@ -40,6 +40,17 @@ DDB_RCU_BYTES = 4 * KB
 #: Default provisioned throughput per table (units per simulated second).
 DDB_DEFAULT_READ_CAPACITY = 1000
 DDB_DEFAULT_WRITE_CAPACITY = 500
+#: Byte budget of one Scan / index-Query page. Real DynamoDB pages by
+#: data volume (1 MB), not item count; the simulated repositories are
+#: orders of magnitude smaller, so the budget scales down likewise to
+#: keep pagination behaviour (and its request-count economics) visible.
+#: A scan page spends this budget on *every* item it crosses, while an
+#: index page spends it only on matching projected entries — the honest
+#: reason indexed reads need fewer requests.
+DDB_PAGE_BYTES = 16 * KB
+#: Per-entry storage/write overhead of a global secondary index (key
+#: duplication plus index bookkeeping — DynamoDB documents ~100 bytes).
+DDB_INDEX_ENTRY_OVERHEAD = 100
 
 #: SQS limits (paper §2.3).
 SQS_MAX_MESSAGE_SIZE = 8 * KB

@@ -42,6 +42,23 @@ def eventual_account() -> AWSAccount:
     )
 
 
+def provenance_oracle_item(account: AWSAccount, item_name: str):
+    """Authoritative read of one provenance item through the *placed*
+    backend of the default (environment-driven) single-shard layout.
+
+    Atomicity/idempotency tests that oracle the provenance store should
+    hold on every backend, so under ``REPRO_BACKEND_PLACEMENT=ddb``
+    they must look at the DynamoDB-style table the store actually wrote
+    — not assume SimpleDB.
+    """
+    from repro.sharding import ShardRouter
+
+    router = ShardRouter(1)
+    domain = router.domain_for_item(item_name)
+    backend = account.provenance_backends()[router.backend_for(domain)]
+    return backend.authoritative_item(domain, item_name)
+
+
 def make_architecture(name: str, account: AWSAccount, **kwargs):
     factories = {
         "s3": S3Standalone,

@@ -119,7 +119,9 @@ class TestAdvisor:
         from repro.sim import Simulation
 
         events = paired_output_trace()
-        sim = Simulation(architecture="s3+simpledb", seed=4)
+        # from_simpledb hydrates from the SimpleDB domain by name — pin
+        # the placement so the items actually live there.
+        sim = Simulation(architecture="s3+simpledb", seed=4, placement="sdb")
         sim.store_events(events, collect=False)
         hydrated = ProvenanceAdvisor.from_simpledb(sim.account)
         direct = ProvenanceAdvisor.from_bundles(

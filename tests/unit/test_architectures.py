@@ -8,7 +8,19 @@ from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
 from repro.errors import ClientCrash, ReadCorrectnessViolation
 from repro.passlib.capture import PassSystem
 from repro.passlib.records import Attr
+from repro.sharding import ShardRouter
 from tests.conftest import make_architecture, tiny_trace
+
+
+def make_sdb_store(account, **kwargs):
+    """An A2 store pinned to the paper's SimpleDB placement: this suite
+    asserts §4.2 wire semantics (PutAttributes batching, items visible
+    in the SimpleDB domain), which must hold whatever backend the
+    REPRO_BACKEND_PLACEMENT environment selects for the generic runs."""
+    return make_architecture(
+        "s3+simpledb", account,
+        router=ShardRouter(1, placement="sdb"), **kwargs,
+    )
 
 
 def big_env_trace(env_bytes=3000):
@@ -99,11 +111,11 @@ class TestS3Standalone:
 class TestS3SimpleDB:
     @pytest.fixture
     def store(self, strong_account):
-        return make_architecture("s3+simpledb", strong_account)
+        return make_sdb_store(strong_account)
 
     def test_provenance_stored_before_data(self, store, strong_account, trace):
         plan = FaultPlan().crash_at("a2.store.before_data_put")
-        crashing = make_architecture("s3+simpledb", strong_account, faults=plan)
+        crashing = make_sdb_store(strong_account, faults=plan)
         with pytest.raises(ClientCrash):
             crashing.store(trace[-1])
         # Provenance landed; data did not: the §4.2 atomicity hole.
@@ -145,7 +157,7 @@ class TestS3SimpleDB:
         # Crash a second client between provenance and data.
         orphan_trace = big_env_trace()
         plan = FaultPlan().crash_at("a2.store.before_data_put")
-        crashing = make_architecture("s3+simpledb", strong_account, faults=plan)
+        crashing = make_sdb_store(strong_account, faults=plan)
         with pytest.raises(ClientCrash):
             crashing.store(orphan_trace[-1])
         removed = store.recover_orphans()
@@ -154,7 +166,7 @@ class TestS3SimpleDB:
         assert store.read("data/out.csv").consistent
 
     def test_batched_put_attributes_for_wide_items(self, strong_account):
-        store = make_architecture("s3+simpledb", strong_account)
+        store = make_sdb_store(strong_account)
         pas = PassSystem()
         for i in range(120):
             pas.stage_input(f"in{i}", b"x")

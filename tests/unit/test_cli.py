@@ -69,6 +69,27 @@ class TestDemo:
         assert main(["demo", "--architecture", "s3"]) == 0
         assert "via s3" in capsys.readouterr().out
 
+    def test_demo_ddb_indexes(self, capsys):
+        assert main(
+            ["demo", "--shards", "2", "--backend", "ddb",
+             "--ddb-indexes", "name,input"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gsi-name(name" in out and "gsi-input(input" in out
+        assert "Q2 outputs-of(analyze): 1 file(s)" in out
+
+    def test_demo_rejects_malformed_index_spec(self, capsys):
+        assert main(
+            ["demo", "--backend", "ddb", "--ddb-indexes", "name,+type"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_demo_help_documents_index_knob(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["demo", "--help"])
+        out = capsys.readouterr().out
+        assert "--ddb-indexes" in out and "REPRO_DDB_INDEXES" in out
+
 
 class TestAdvise:
     def test_advise_summary(self, capsys):

@@ -22,15 +22,25 @@ def blast_trace(n=4):
 
 
 class TestSelectModeEngine:
+    # SELECT is a SimpleDB wire language; the store and the engines stay
+    # pinned to the sdb placement whatever the environment selects.
     @pytest.fixture
-    def loaded(self, strong_account):
-        store = make_architecture("s3+simpledb", strong_account)
+    def sdb_router(self):
+        from repro.sharding import ShardRouter
+
+        return ShardRouter(1, placement="sdb")
+
+    @pytest.fixture
+    def loaded(self, strong_account, sdb_router):
+        store = make_architecture(
+            "s3+simpledb", strong_account, router=sdb_router
+        )
         store.store_trace(blast_trace())
         return strong_account
 
-    def test_select_mode_matches_query_mode(self, loaded):
-        bracket = SimpleDBEngine(loaded)
-        select = SimpleDBEngine(loaded, select_mode=True)
+    def test_select_mode_matches_query_mode(self, loaded, sdb_router):
+        bracket = SimpleDBEngine(loaded, router=sdb_router)
+        select = SimpleDBEngine(loaded, select_mode=True, router=sdb_router)
         assert set(select.q2_outputs_of("blast").refs) == set(
             bracket.q2_outputs_of("blast").refs
         )
@@ -38,8 +48,8 @@ class TestSelectModeEngine:
             bracket.q3_descendants_of("blast").refs
         )
 
-    def test_select_mode_uses_select_requests(self, loaded):
-        engine = SimpleDBEngine(loaded, select_mode=True)
+    def test_select_mode_uses_select_requests(self, loaded, sdb_router):
+        engine = SimpleDBEngine(loaded, select_mode=True, router=sdb_router)
         measurement = engine.q2_outputs_of("blast")
         assert measurement.usage.request_count("simpledb", "Select") >= 2
         assert measurement.usage.request_count("simpledb", "QueryWithAttributes") == 0
