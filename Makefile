@@ -21,10 +21,25 @@
 #                                shards: comma-separated key attributes with
 #                                optional '+included' projections — e.g.
 #                                "name,input" (= 'auto'); unset/empty = none.
-#                                With indexes, Q2/Q3 on ddb shards are GSI
-#                                Queries (scan fallback when absent/stale);
+#                                A '+*' include is the ALL projection (entries
+#                                carry the whole item — what index-streamed
+#                                migration reads need); an '@WCU[:RCU]' suffix
+#                                gives the index its own provisioned capacity
+#                                (default: maintenance charges the base table's
+#                                window). With indexes, Q2/Q3 on ddb shards are
+#                                GSI Queries (scan fallback when absent/stale);
 #                                bench_multibackend.py quantifies Scan vs GSI
 #                                vs SimpleDB-Select (it is in BENCH_SMOKE_FILES)
+#   REPRO_MIGRATION=...          default `repro demo --migrate` spec: e.g.
+#                                "shards=8,placement=mixed" (online live
+#                                migration — copy/double-write/catch-up/
+#                                cutover/drop under traffic) or
+#                                "shards=4,online=false" (offline quiet-window
+#                                rebalance). bench_migration_live.py compares
+#                                the two modes ops/bytes/USD under a writing
+#                                fleet; `make test-migration` runs just the
+#                                live-migration suites (what the CI
+#                                live-migration job executes)
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
@@ -33,15 +48,25 @@ BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='
 # The benchmarks bench-smoke runs (kept in one place so CI and local
 # smoke stay in sync — extend this list as new benchmarks land).
 BENCH_SMOKE_FILES = bench_sharding_scaleout.py bench_concurrent_gather.py \
-	bench_multibackend.py bench_table3_query.py
+	bench_multibackend.py bench_migration_live.py bench_table3_query.py
 
-.PHONY: test test-fast bench bench-smoke bench-check lint
+# The live-migration suites alone (fleet writing while a layout
+# migration runs) — what the CI live-migration job executes.
+MIGRATION_TEST_FILES = tests/unit/test_migration_handle.py \
+	tests/unit/test_live_migration.py tests/unit/test_index_capacity.py \
+	tests/properties/test_prop_migration.py \
+	tests/integration/test_fleet_live_migration.py
+
+.PHONY: test test-fast test-migration bench bench-smoke bench-check lint
 
 test:
 	HYPOTHESIS_PROFILE=ci $(PYTEST) -x -q
 
 test-fast:
 	HYPOTHESIS_PROFILE=dev $(PYTEST) -x -q
+
+test-migration:
+	HYPOTHESIS_PROFILE=ci $(PYTEST) -x -q $(MIGRATION_TEST_FILES)
 
 bench-smoke:
 	$(BENCH) -q -x --benchmark-disable $(BENCH_SMOKE_FILES)

@@ -27,8 +27,6 @@ property suite hammers this; here it guards the measured
 configurations).
 """
 
-from collections import Counter
-
 import pytest
 
 from repro.analysis.report import TextTable
@@ -103,10 +101,7 @@ def _usd(sim, usage) -> float:
 
 
 def _query_usage(rows) -> Usage:
-    usage = rows["q1"].usage
-    for name in ("q2", "q3"):
-        usage = _merge(usage, rows[name].usage)
-    return usage
+    return rows["q1"].usage + rows["q2"].usage + rows["q3"].usage
 
 
 def _read_units(usage) -> float:
@@ -146,26 +141,6 @@ def test_multibackend_table(benchmark, placed_sims, query_rows, live_events):
                 f"{_read_units(query_usage):.1f}",
             )
     save_result("multibackend_placement", table.render())
-
-
-def _merge(a, b):
-    """Sum two usage snapshots (Usage supports only subtraction)."""
-
-    def add(pairs_a, pairs_b):
-        counter = Counter(dict(pairs_a))
-        counter.update(dict(pairs_b))
-        return tuple(sorted(counter.items()))
-
-    return Usage(
-        requests=add(a.requests, b.requests),
-        bytes_in=add(a.bytes_in, b.bytes_in),
-        bytes_out=add(a.bytes_out, b.bytes_out),
-        byte_seconds=add(a.byte_seconds, b.byte_seconds),
-        stored_bytes=a.stored_bytes,
-        box_usage_hours=a.box_usage_hours + b.box_usage_hours,
-        read_capacity_units=add(a.read_capacity_units, b.read_capacity_units),
-        write_capacity_units=add(a.write_capacity_units, b.write_capacity_units),
-    )
 
 
 def test_results_identical_across_regimes(query_rows):

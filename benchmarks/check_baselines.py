@@ -10,7 +10,12 @@ DynamoDB placement in both access regimes (Scan-served ``ddb-scan/...``
 and GSI-served ``ddb-gsi/...``, the latter also pinning the write
 path's index write-unit amplification) — into
 ``benchmarks/baselines.json`` and fails when a run drifts from the
-committed numbers.
+committed numbers. The ``migration/...`` keys additionally pin the
+online-migration headline totals (items copied, double-writes, WAL
+records captured/replayed, cutover epochs, and overhead ops/bytes) for
+a grow-under-traffic and an sdb→ddb-flip-with-GSI-backfill scenario, so
+a change to the live protocol's request streams is just as visible in
+review as a query-path drift.
 
 Usage::
 
@@ -87,6 +92,57 @@ def measure() -> dict[str, int]:
                 totals[f"{prefix}/{name}/ops"] = measurement.operations
                 totals[f"{prefix}/{name}/bytes_out"] = measurement.bytes_out
                 totals[f"{prefix}/{name}/results"] = measurement.result_count
+    totals.update(measure_migration(events))
+    return totals
+
+
+def measure_migration(events) -> dict[str, int]:
+    """Online-migration headline totals under deterministic live traffic.
+
+    Half the workload is stored up front; the rest lands one event per
+    state-machine step, so the copy (WAL capture), double-write, and
+    catch-up windows all see writes. Strong consistency + seeded
+    routing make every counter an exact integer.
+    """
+    from repro.sharding import ShardRouter
+    from repro.sim import Simulation
+
+    scenarios = (
+        ("migration/grow-sdb-1to4", dict(shards=1, placement="sdb"),
+         dict(shards=4, placement="sdb"), ""),
+        ("migration/flip-2sdb-to-2ddb-gsi", dict(shards=2, placement="sdb"),
+         dict(shards=2, placement="ddb"), "name,input"),
+    )
+    totals: dict[str, int] = {}
+    for prefix, source, target, indexes in scenarios:
+        sim = Simulation(
+            architecture="s3+simpledb", seed=SEED, ddb_indexes=indexes, **source
+        )
+        sim.store_events(events[: len(events) // 2], collect=False)
+        migration = sim.start_migration(router=ShardRouter(**target))
+        index = len(events) // 2
+        while True:
+            if index < len(events):
+                sim.store.store(events[index])
+                index += 1
+            if not migration.step():
+                break
+        while index < len(events):
+            sim.store.store(events[index])
+            index += 1
+        sim.settle()
+        report = migration.report
+        overhead = report.overhead_usage()
+        totals[f"{prefix}/copied"] = report.items_moved
+        totals[f"{prefix}/double_writes"] = report.double_writes
+        totals[f"{prefix}/wal_records"] = report.wal_records
+        totals[f"{prefix}/replayed"] = report.replayed_records
+        totals[f"{prefix}/cutover_epochs"] = report.cutover_epochs
+        totals[f"{prefix}/scrub_deletes"] = report.scrub_deletes
+        totals[f"{prefix}/overhead_ops"] = overhead.request_count()
+        totals[f"{prefix}/overhead_bytes_out"] = overhead.transfer_out()
+        if indexes:
+            totals[f"{prefix}/index_wcu"] = int(report.index_write_units)
     return totals
 
 

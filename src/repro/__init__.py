@@ -12,6 +12,10 @@ Public API highlights:
 * :mod:`repro.query` — the Q1/Q2/Q3 query engine over both backends.
 * :class:`repro.sharding.ShardRouter` — consistent-hash sharding of the
   provenance domain across N SimpleDB domains (scatter-gather queries).
+* :mod:`repro.migration` — online shard migration: the
+  :class:`~repro.migration.RouterHandle` routing-epoch indirection and
+  the :class:`~repro.migration.LiveMigration`
+  copy/double-write/catch-up/cutover/drop state machine.
 * :mod:`repro.analysis` — the paper's §5 storage/query cost models and
   table renderers.
 """
@@ -21,6 +25,7 @@ __version__ = "1.1.0"
 from repro.aws.account import AWSAccount, ConsistencyConfig
 from repro.blob import Blob, BytesBlob, SyntheticBlob, as_blob
 from repro.clock import SimClock
+from repro.migration import RouterHandle
 from repro.sharding import ShardRouter, rebalance
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "SyntheticBlob",
     "as_blob",
     "SimClock",
+    "RouterHandle",
     "ShardRouter",
     "rebalance",
     "__version__",

@@ -107,10 +107,20 @@ def parse_index_specs(
     * ``"name,input"`` — one index per key attribute, projecting
       :data:`DEFAULT_INDEX_INCLUDE`;
     * ``"input+type+name"`` — explicit ``key+include+include`` parts;
+    * ``"type+*"`` — a ``*`` include is DynamoDB's ``ALL`` projection
+      (entries carry the whole item — what index-streamed migration
+      reads need);
+    * ``"name@40"`` / ``"input+type@40:20"`` — an ``@WCU[:RCU]`` suffix
+      provisions the index's *own* capacity, so its maintenance writes
+      (and Query reads, with ``:RCU``) throttle independently of the
+      base table's window;
     * a sequence of ready :class:`IndexSpec` objects (passed through).
 
     >>> [s.name for s in parse_index_specs("name,input")]
     ['gsi-name', 'gsi-input']
+    >>> spec, = parse_index_specs("type+*@40:20")
+    >>> (spec.project_all, spec.wcu, spec.rcu)
+    (True, 40, 20)
     """
     if spec is None:
         spec = os.environ.get(INDEX_ENV, "").strip()
@@ -126,14 +136,28 @@ def parse_index_specs(
         part = part.strip()
         if not part:
             continue
+        part, _, capacity = part.partition("@")
+        wcu = rcu = None
+        if capacity:
+            wcu_text, _, rcu_text = capacity.partition(":")
+            try:
+                wcu = int(wcu_text)
+                rcu = int(rcu_text) if rcu_text else None
+            except ValueError:
+                raise ValueError(f"bad DynamoDB index capacity {spec!r}") from None
         key, *include = [piece.strip() for piece in part.split("+")]
         if not key or not all(include):
             raise ValueError(f"bad DynamoDB index spec {spec!r}")
+        project_all = "*" in include
+        include = tuple(piece for piece in include if piece != "*")
         specs.append(
             IndexSpec(
                 name=f"gsi-{key}",
                 key_attribute=key,
-                include=tuple(include) or DEFAULT_INDEX_INCLUDE,
+                include=include or (() if project_all else DEFAULT_INDEX_INCLUDE),
+                project_all=project_all,
+                wcu=wcu,
+                rcu=rcu,
             )
         )
     return tuple(specs)
@@ -265,6 +289,18 @@ class ProvenanceBackend(Protocol):
         """Every item with full attributes, for migration/recovery scans."""
         ...
 
+    def migration_pages(
+        self, store: str
+    ) -> tuple[bool, Iterator[tuple[str, dict[str, tuple[str, ...]]]]]:
+        """Best full-item read stream for a migration: (via_index, pages).
+
+        ``via_index`` is True when the stream comes off a covering
+        (ALL-projection) secondary index instead of the base store —
+        cheaper pages on the DynamoDB-style backend, impossible on
+        SimpleDB.
+        """
+        ...
+
     def item_count(self, store: str) -> int:
         """Authoritative number of items (skew reporting; 0 if absent)."""
         ...
@@ -361,6 +397,10 @@ class SimpleDBBackend:
             if token is None:
                 return
 
+    def migration_pages(self, store):
+        """SimpleDB has no secondary access path — always the scan."""
+        return False, self.scan_pages(store)
+
     def item_count(self, store: str) -> int:
         return self.service.item_count(store)
 
@@ -417,6 +457,8 @@ class DynamoBackend:
         self.stale_index_fallbacks = 0
         #: Write units spent backfilling indexes at provision time.
         self.index_backfill_units = 0.0
+        #: migration_pages calls served off an ALL-projection GSI.
+        self.migration_index_streams = 0
 
     # Admission control: provisioned throughput is per simulated second,
     # so backing off means advancing the simulated clock — the client
@@ -512,8 +554,9 @@ class DynamoBackend:
         an equality value set (the superset guarantee of
         :func:`_equality_candidates`), its projection covers every
         attribute the predicate references plus the caller's requested
-        projection, and its replication lag is inside the staleness
-        bound. Indexes are tried in declaration order.
+        projection (an ``ALL``-projection index covers anything,
+        including full-item reads), and its replication lag is inside
+        the staleness bound. Indexes are tried in declaration order.
         """
         specs = self.service.list_indexes(store)
         if not specs:
@@ -525,10 +568,9 @@ class DynamoBackend:
             values = candidates.get(spec.key_attribute)
             if not values:
                 continue
-            projection = spec.projected_attributes
-            if not referenced <= projection:
+            if not spec.covers(referenced):
                 continue
-            if wanted is None or not wanted <= projection:
+            if not spec.project_all and (wanted is None or not spec.covers(wanted)):
                 continue
             lag = self.service.index_lag_seconds(store, spec.name)
             if (
@@ -584,6 +626,69 @@ class DynamoBackend:
 
     def scan_pages(self, store):
         yield from self._scan_all(store)
+
+    def migration_pages(self, store):
+        """Stream a migration read off a covering GSI when one exists.
+
+        Eligible indexes project ``ALL`` (entries carry the full item),
+        are inside the staleness bound, and — because GSIs are sparse —
+        demonstrably cover every item (the DescribeTable-style distinct
+        entry count equals the table's item count). Pages then cost
+        :data:`~repro.aws.billing.DDB_GSI` read units sized by compact
+        index entries instead of base-table Scan units, and an index
+        with its own ``rcu`` keeps the migration's read pressure off
+        the base table's admission window entirely. Falls back to the
+        base-table Scan otherwise — byte-identical to the pre-index
+        migration read path.
+        """
+        spec = self._migration_index(store)
+        if spec is None:
+            return False, self._scan_all(store)
+        self.migration_index_streams += 1
+        return True, self._stream_index_items(store, spec)
+
+    def _migration_index(self, store: str) -> IndexSpec | None:
+        stale = False
+        for spec in self.service.list_indexes(store):
+            if not spec.project_all:
+                continue
+            lag = self.service.index_lag_seconds(store, spec.name)
+            if (
+                self.index_staleness_bound is not None
+                and lag > self.index_staleness_bound
+            ):
+                stale = True
+                continue
+            if self.service.index_distinct_item_count(
+                store, spec.name
+            ) != self.service.item_count(store):
+                continue  # sparse: some item lacks the key attribute
+            return spec
+        if stale:
+            # Counted only when the staleness actually forced a
+            # base-table scan (same semantics as the query planner).
+            self.stale_index_fallbacks += 1
+        return None
+
+    def _stream_index_items(self, store: str, spec: IndexSpec):
+        """Paged index Scan, deduplicated to one yield per item."""
+        seen: set[str] = set()
+        start_key: str | None = None
+        while True:
+            page = self._with_backoff(
+                self.service.scan_index,
+                store,
+                spec.name,
+                exclusive_start_key=start_key,
+            )
+            for item_name, attrs in page.entries:
+                if item_name in seen:
+                    continue
+                seen.add(item_name)
+                yield item_name, dict(attrs)
+            start_key = page.last_evaluated_key
+            if start_key is None:
+                return
 
     def item_count(self, store: str) -> int:
         return self.service.item_count(store)

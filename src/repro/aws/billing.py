@@ -142,6 +142,46 @@ class Usage:
         seconds = sum(v for svc, v in self.byte_seconds if service in (None, svc))
         return seconds / GB / SECONDS_PER_MONTH
 
+    @classmethod
+    def empty(cls) -> "Usage":
+        """A zero snapshot (the additive identity for :meth:`__add__`)."""
+        return cls(
+            requests=(),
+            bytes_in=(),
+            bytes_out=(),
+            byte_seconds=(),
+            stored_bytes=(),
+            box_usage_hours=0.0,
+        )
+
+    def __add__(self, other: "Usage") -> "Usage":
+        """Sum two activity snapshots (e.g. accumulate scoped spends).
+
+        Storage *levels* don't add — ``stored_bytes`` keeps the left
+        operand's levels, like :meth:`__sub__` does; the scoped usages
+        migration accounting accumulates carry none anyway.
+        """
+
+        def add_counts(a, b):
+            counter = Counter(dict(a))
+            counter.update(dict(b))
+            return tuple(sorted((k, v) for k, v in counter.items() if v))
+
+        return Usage(
+            requests=add_counts(self.requests, other.requests),
+            bytes_in=add_counts(self.bytes_in, other.bytes_in),
+            bytes_out=add_counts(self.bytes_out, other.bytes_out),
+            byte_seconds=add_counts(self.byte_seconds, other.byte_seconds),
+            stored_bytes=self.stored_bytes,
+            box_usage_hours=self.box_usage_hours + other.box_usage_hours,
+            read_capacity_units=add_counts(
+                self.read_capacity_units, other.read_capacity_units
+            ),
+            write_capacity_units=add_counts(
+                self.write_capacity_units, other.write_capacity_units
+            ),
+        )
+
     def __sub__(self, other: "Usage") -> "Usage":
         def diff_counts(a, b):
             counter = Counter(dict(a))

@@ -105,16 +105,34 @@ class IndexSpec:
     The projection carried by each entry is the key attribute itself
     plus the ``include`` list — queries whose predicate or requested
     attributes reach outside the projection cannot be served by the
-    index. Items lacking the attribute have no entries (sparse index).
+    index — or, with ``project_all`` (DynamoDB's ``ALL`` projection
+    type), the *entire item*: entries are bigger (more index storage
+    and write amplification) but the index can serve any projection,
+    including the full-item reads a migration streams. Items lacking
+    the attribute have no entries (sparse index).
+
+    ``wcu``/``rcu`` optionally provision the index's own capacity: its
+    maintenance writes and Query reads then throttle against the
+    index's own per-second admission window instead of charging the
+    base table's (``None``, the default, preserves the shared-window
+    behaviour byte-for-byte — an underprovisioned index back-pressures
+    its base table).
     """
 
     name: str
     key_attribute: str
     include: tuple[str, ...] = ()
+    project_all: bool = False
+    wcu: int | None = None
+    rcu: int | None = None
 
     @property
     def projected_attributes(self) -> frozenset[str]:
         return frozenset((self.key_attribute, *self.include))
+
+    def covers(self, attributes: frozenset[str] | set[str]) -> bool:
+        """Can index entries answer reads of these attributes?"""
+        return self.project_all or set(attributes) <= self.projected_attributes
 
 
 def index_entry_key(key_value: str, item_name: str) -> str:
@@ -123,6 +141,8 @@ def index_entry_key(key_value: str, item_name: str) -> str:
 
 
 def _project(state: ItemState, spec: IndexSpec) -> ItemState:
+    if spec.project_all:
+        return dict(state)
     projected = spec.projected_attributes
     return {name: values for name, values in state.items() if name in projected}
 
@@ -177,11 +197,19 @@ class _Index:
 
     The replica set's *authoritative* view is what the index converges
     to; reads always come off replicas — there is no strongly
-    consistent index read to buy, mirroring real GSIs.
+    consistent index read to buy, mirroring real GSIs. Indexes whose
+    spec declares ``wcu``/``rcu`` carry their own admission window (the
+    per-index provisioned throughput real GSIs have); the others charge
+    the base table's window, the original shared-window behaviour.
     """
 
     spec: IndexSpec
     replicas: ReplicaSet
+    # Per-index admission window (used only when the spec provisions
+    # its own capacity; mirrors the base table's window fields).
+    window_start: float = 0.0
+    window_read_units: float = 0.0
+    window_write_units: float = 0.0
 
 
 @dataclass
@@ -379,16 +407,23 @@ class DynamoDBService:
         return index
 
     def _index_put_plan(self, table: _Table, key: str, new_state: ItemState):
-        """Index maintenance a base write triggers: (writes, units).
+        """Index maintenance a base write triggers.
 
-        Only entries whose projected state actually changes are written
-        and charged — a replayed idempotent put amplifies nothing, like
-        real GSIs (no index write when key and projection are unchanged).
+        Returns ``(writes, shared_units, index_charges)``:
+        ``shared_units`` are the index write units charged against the
+        base table's admission window (indexes without their own
+        ``wcu``); ``index_charges`` lists ``(index, write_units)``
+        for indexes that provision their own capacity. Only entries
+        whose projected state actually changes are written and charged
+        — a replayed idempotent put amplifies nothing, like real GSIs
+        (no index write when key and projection are unchanged).
         """
         writes: list[tuple[_Index, str, ItemState, int]] = []
-        units_total = 0.0
+        shared_units = 0.0
+        index_charges: list[tuple[_Index, float, float]] = []
         for index in table.indexes.values():
             projected = _project(new_state, index.spec)
+            units = 0.0
             for value in new_state.get(index.spec.key_attribute, ()):
                 entry_key = index_entry_key(value, key)
                 old = index.replicas.read_authoritative(entry_key)
@@ -396,39 +431,68 @@ class DynamoDBService:
                     continue
                 old_size = _entry_size(entry_key, old) if old is not None else 0
                 new_size = _entry_size(entry_key, projected)
-                units_total += _write_units_for(max(old_size, new_size))
+                units += _write_units_for(max(old_size, new_size))
                 writes.append((index, entry_key, projected, new_size - old_size))
-        return writes, units_total
+            if not units:
+                continue
+            if index.spec.wcu is not None:
+                index_charges.append((index, 0.0, units))
+            else:
+                shared_units += units
+        return writes, shared_units, index_charges
 
     def _index_delete_plan(self, table: _Table, key: str, old_state: ItemState):
-        """Index maintenance a base delete triggers: (deletes, units)."""
+        """Index maintenance a base delete triggers (same split as
+        :meth:`_index_put_plan`)."""
         deletes: list[tuple[_Index, str, int]] = []
-        units_total = 0.0
+        shared_units = 0.0
+        index_charges: list[tuple[_Index, float, float]] = []
         for index in table.indexes.values():
+            units = 0.0
             for value in old_state.get(index.spec.key_attribute, ()):
                 entry_key = index_entry_key(value, key)
                 old = index.replicas.read_authoritative(entry_key)
                 if old is None:
                     continue
                 size = _entry_size(entry_key, old)
-                units_total += _write_units_for(size)
+                units += _write_units_for(size)
                 deletes.append((index, entry_key, size))
-        return deletes, units_total
+            if not units:
+                continue
+            if index.spec.wcu is not None:
+                index_charges.append((index, 0.0, units))
+            else:
+                shared_units += units
+        return deletes, shared_units, index_charges
 
     # -- provisioned-throughput admission control ---------------------------
 
-    def _admit(self, table: _Table, read_units: float, write_units: float) -> None:
-        """Charge the current one-second window; throttle when exhausted.
+    @staticmethod
+    def _roll_window(window, now: float) -> None:
+        if now - window.window_start >= 1.0:
+            window.window_start = math.floor(now)
+            window.window_read_units = 0.0
+            window.window_write_units = 0.0
 
-        A throttled request consumes nothing and is not metered — the
-        client backs off (advancing the simulated clock into a fresh
-        window) and retries, exactly like SDK exponential backoff.
+    def _admit(
+        self,
+        table: _Table,
+        read_units: float,
+        write_units: float,
+        index_charges: list[tuple[_Index, float, float]] = (),
+    ) -> None:
+        """Charge the current one-second window(s); throttle if exhausted.
+
+        ``index_charges`` routes capacity to indexes provisioned with
+        their own ``wcu``/``rcu`` — their windows throttle independently
+        of the base table's. Admission is all-or-nothing: every window
+        is validated before any is charged, so a throttled request
+        consumes nothing anywhere and is not metered — the client backs
+        off (advancing the simulated clock into a fresh window) and
+        retries, exactly like SDK exponential backoff.
         """
         now = self._clock.now
-        if now - table.window_start >= 1.0:
-            table.window_start = math.floor(now)
-            table.window_read_units = 0.0
-            table.window_write_units = 0.0
+        self._roll_window(table, now)
         if table.window_read_units + read_units > table.read_capacity:
             raise errors.ProvisionedThroughputExceeded(
                 f"read capacity {table.read_capacity} units/s exhausted"
@@ -437,8 +501,28 @@ class DynamoDBService:
             raise errors.ProvisionedThroughputExceeded(
                 f"write capacity {table.write_capacity} units/s exhausted"
             )
+        for index, index_reads, index_writes in index_charges:
+            self._roll_window(index, now)
+            spec = index.spec
+            if (
+                spec.rcu is not None
+                and index.window_read_units + index_reads > spec.rcu
+            ):
+                raise errors.ProvisionedThroughputExceeded(
+                    f"index {spec.name!r} read capacity {spec.rcu} units/s exhausted"
+                )
+            if (
+                spec.wcu is not None
+                and index.window_write_units + index_writes > spec.wcu
+            ):
+                raise errors.ProvisionedThroughputExceeded(
+                    f"index {spec.name!r} write capacity {spec.wcu} units/s exhausted"
+                )
         table.window_read_units += read_units
         table.window_write_units += write_units
+        for index, index_reads, index_writes in index_charges:
+            index.window_read_units += index_reads
+            index.window_write_units += index_writes
 
     # -- writes -------------------------------------------------------------
 
@@ -479,9 +563,12 @@ class DynamoDBService:
                 f"(limit {units.DDB_MAX_ITEM_SIZE})"
             )
         write_units = _write_units_for(max(old_size, new_size))
-        index_writes, index_units = self._index_put_plan(table, key, state)
+        index_writes, shared_units, index_charges = self._index_put_plan(
+            table, key, state
+        )
+        index_units = shared_units + sum(units for _, _, units in index_charges)
         self._check_faults("UpdateItem")
-        self._admit(table, 0.0, write_units + index_units)
+        self._admit(table, 0.0, write_units + shared_units, index_charges)
         self._meter.record_request(billing.DDB, "UpdateItem")
         self._meter.record_capacity(billing.DDB, write_units=write_units)
         self._meter.record_transfer_in(
@@ -509,12 +596,13 @@ class DynamoDBService:
         state = table.authority.get(key)
         old_size = _item_size(key, state) if state is not None else 0
         write_units = _write_units_for(old_size)
-        index_deletes, index_units = (
+        index_deletes, shared_units, index_charges = (
             self._index_delete_plan(table, key, state) if state is not None
-            else ([], 0.0)
+            else ([], 0.0, [])
         )
+        index_units = shared_units + sum(units for _, _, units in index_charges)
         self._check_faults("DeleteItem")
-        self._admit(table, 0.0, write_units + index_units)
+        self._admit(table, 0.0, write_units + shared_units, index_charges)
         self._meter.record_request(billing.DDB, "DeleteItem")
         self._meter.record_capacity(billing.DDB, write_units=write_units)
         if state is None:
@@ -645,6 +733,25 @@ class DynamoDBService:
             if exclusive_start_key is not None and entry_key <= exclusive_start_key:
                 continue
             matches.append((entry_key, item_name, projected))
+        return self._serve_index_page(table, index, matches, limit, "Query")
+
+    def _serve_index_page(
+        self,
+        table: _Table,
+        index: _Index,
+        matches: list[tuple[str, str, ItemState]],
+        limit: int,
+        op: str,
+    ) -> IndexQueryResult:
+        """Shared paging/admission/metering for every GSI read path.
+
+        ``matches`` are (entry key, item name, projected attrs) in index
+        order, already filtered past the pagination token — Query and
+        Scan differ only in how they select entries, never in how a page
+        is budgeted, admitted (the index's own ``rcu`` window when
+        provisioned, the base table's otherwise), or billed (eventual
+        read units + transfer on :data:`~repro.aws.billing.DDB_GSI`).
+        """
         page: list[tuple[str, str, ItemState]] = []
         page_bytes = 0
         for entry_key, item_name, projected in matches:
@@ -656,9 +763,12 @@ class DynamoDBService:
                 break
         base = float(max(1, math.ceil(page_bytes / units.DDB_RCU_BYTES)))
         read_units = base / 2.0  # no strongly consistent GSI reads exist
-        self._check_faults("Query")
-        self._admit(table, read_units, 0.0)
-        self._meter.record_request(billing.DDB_GSI, "Query")
+        self._check_faults(op)
+        if index.spec.rcu is not None:
+            self._admit(table, 0.0, 0.0, [(index, read_units, 0.0)])
+        else:
+            self._admit(table, read_units, 0.0)
+        self._meter.record_request(billing.DDB_GSI, op)
         self._meter.record_capacity(billing.DDB_GSI, read_units=read_units)
         self._meter.record_transfer_out(
             billing.DDB_GSI,
@@ -674,6 +784,55 @@ class DynamoDBService:
             ),
             last_evaluated_key=last,
         )
+
+    @synchronized
+    def scan_index(
+        self,
+        table_name: str,
+        index_name: str,
+        exclusive_start_key: str | None = None,
+        limit: int = SCAN_MAX_PAGE,
+    ) -> IndexQueryResult:
+        """One page of a Scan over a GSI's entries, in index-key order.
+
+        Real DynamoDB supports scanning a GSI; with an ``ALL``
+        projection (:attr:`IndexSpec.project_all`) that makes the index
+        a *migration read path*: a rebalance streams full items off the
+        index's entry space instead of the base table, paying read
+        units (on the :data:`~repro.aws.billing.DDB_GSI` key, against
+        the index's own capacity when provisioned) sized by the entries
+        it crosses. Always eventually consistent, like every GSI read;
+        an item appears once per value of the indexed attribute, so
+        callers deduplicate by item name.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        table = self._table(table_name)
+        index = table.indexes.get(index_name)
+        if index is None:
+            raise errors.NoSuchIndex(
+                f"table {table_name!r} has no index {index_name!r}"
+            )
+        matches = [
+            (entry_key, entry_key.partition(INDEX_KEY_SEP)[2], projected)
+            for entry_key, projected in index.replicas.items_snapshot()
+            if exclusive_start_key is None or entry_key > exclusive_start_key
+        ]
+        return self._serve_index_page(table, index, matches, limit, "Scan")
+
+    @synchronized
+    def index_distinct_item_count(self, table_name: str, index_name: str) -> int:
+        """Distinct items with at least one entry in the index's
+        *converged* view. Unmetered (DescribeTable-style schema/size
+        metadata clients cache) — what a migration compares against
+        :meth:`item_count` to decide whether a sparse index really
+        covers the whole table before streaming from it."""
+        index = self._index(table_name, index_name)
+        names = {
+            entry_key.partition(INDEX_KEY_SEP)[2]
+            for entry_key, _ in index.replicas.authoritative_items()
+        }
+        return len(names)
 
     # -- oracle helpers (tests/migration verification) ----------------------
 

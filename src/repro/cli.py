@@ -210,6 +210,44 @@ def cmd_demo(args: argparse.Namespace) -> int:
             f"{outputs.latency * 1000:.0f} ms ({mode}; one-at-a-time "
             f"{outputs.sequential_latency * 1000:.0f} ms)"
         )
+    import os
+
+    from repro.migration import MIGRATION_ENV, parse_migration_spec
+
+    migrate_spec = args.migrate or os.environ.get(MIGRATION_ENV, "").strip()
+    if migrate_spec and sim.architecture == "s3":
+        print("note: --migrate has no effect on the s3 architecture "
+              "(provenance lives in object metadata, not a shard layout)")
+    elif migrate_spec:
+        try:
+            knobs = parse_migration_spec(migrate_spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        online = knobs.pop("online", True)
+        report = sim.migrate(online=online, **knobs)
+        mode = "online" if online else "offline"
+        print(
+            f"{mode} migration -> shards={sim.store.router.shards} "
+            f"(epoch {sim.store.routing.epoch}): "
+            f"{report.items_moved} copied, {report.items_kept} kept"
+        )
+        if online:
+            print(
+                f"  double-writes {report.double_writes}, WAL replays "
+                f"{report.replayed_records}, cutover epochs "
+                f"{report.cutover_epochs}, verification reads "
+                f"{report.verification_reads}"
+            )
+            for label, amount in report.cost_lines(sim.account.prices):
+                if amount:
+                    print(f"  {label}  ${amount:.6f}")
+        followup = sim.query_engine().q2_outputs_of("analyze")
+        print(
+            f"Q2 after migration: {followup.result_count} file(s), "
+            f"{followup.operations} ops across "
+            f"{len(followup.per_shard)} shard store(s)"
+        )
     print(sim.bill())
     return 0
 
@@ -294,6 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(name,input — what serves Q2/Q3 by index Query instead of "
         "Scan), '' disables; default is the REPRO_DDB_INDEXES "
         "environment spec or no indexes",
+    )
+    demo.add_argument(
+        "--migrate", default=None, metavar="SPEC",
+        help="after the demo workload, migrate the provenance layout: "
+        "comma-separated key=value pairs — shards=N, placement=PLACEMENT "
+        "(same grammar as --backend), online=true|false (default true: "
+        "the live copy/double-write/catch-up/cutover protocol; false = "
+        "offline quiet-window rebalance). E.g. 'shards=8,placement=mixed'. "
+        "Default is the REPRO_MIGRATION environment spec or no migration",
     )
     demo.set_defaults(handler=cmd_demo)
 

@@ -25,12 +25,17 @@ Common conventions (§4):
   provenance agree (§4.2's "reissue the query ... until we get
   consistent provenance and data").
 
-Shard routing protocol and its caveats: writes route each provenance
-item to ``router.domain_for(path)``; reads for a known path are
-single-shard; domain-wide operations (orphan recovery, Q2/Q3) must
-scatter across every shard and gather, with no cross-shard snapshot —
-each shard answers at its own replica time, so the usual eventual-
-consistency retry discipline applies per shard. Each shard's store
+Shard routing protocol and its caveats: every store holds a
+:class:`~repro.migration.RouterHandle` (the routing-epoch indirection)
+rather than a bare router — writes follow the handle's *write plan*
+(the owning shard store; during a live migration possibly a mirrored
+second site or a WAL capture), reads for a known path are single-site
+(the source layout until that shard cuts over), and domain-wide
+operations (orphan recovery, Q2/Q3) scatter across the handle's query
+sites — all current stores, plus cut-over target stores mid-migration —
+and gather, with no cross-shard snapshot: each shard answers at its own
+replica time, so the usual eventual-consistency retry discipline
+applies per shard. Each shard's store
 lives on the backend its router placement names (SimpleDB or the
 DynamoDB-style service) and every store access goes through the
 :mod:`repro.aws.backend` protocol, so the architecture protocols are
@@ -53,6 +58,7 @@ from repro.errors import (
     ReadCorrectnessViolation,
     ServiceUnavailable,
 )
+from repro.migration.handle import RouterHandle, Site, as_handle
 from repro.passlib.records import FlushEvent, ObjectRef, ProvenanceBundle
 from repro.sharding import DEFAULT_BASE_DOMAIN, ShardRouter
 
@@ -164,15 +170,29 @@ class ProvenanceCloudStore:
 
     def __init__(self, account: AWSAccount, faults: FaultPlan = NO_FAULTS,
                  retry: RetryPolicy | None = None, shards: int = 1,
-                 router: ShardRouter | None = None):
+                 router: ShardRouter | RouterHandle | None = None):
         self.account = account
         self.faults = faults
         self.retry = retry or RetryPolicy()
-        #: Provenance-domain shard router; ``shards=1`` (the default) is
-        #: the paper's single :data:`PROV_DOMAIN` deployment.
-        self.router = router or ShardRouter(shards)
+        #: Shared routing-epoch indirection over the provenance shard
+        #: layout. ``shards=1`` (the default) is the paper's single
+        #: :data:`PROV_DOMAIN` deployment; passing an existing
+        #: :class:`RouterHandle` (what :class:`~repro.fleet.ClientFleet`
+        #: does) makes every consumer observe the same epoch — and the
+        #: same live migration — simultaneously.
+        self.routing = as_handle(router if router is not None else ShardRouter(shards))
         self.stores_completed = 0
         self._provisioned = False
+
+    @property
+    def router(self) -> ShardRouter:
+        """The settled shard layout (the source during a live migration).
+
+        Kept for introspection call sites and operational scripts; the
+        store protocols themselves route through :attr:`routing` so a
+        migration can redirect them mid-flight.
+        """
+        return self.routing.current
 
     # -- provisioning ----------------------------------------------------
 
@@ -245,18 +265,18 @@ class ProvenanceCloudStore:
         return f"{type(self).__name__}(stores={self.stores_completed})"
 
 
-def provenance_backend(account: AWSAccount, router: ShardRouter, domain: str):
-    """The backend adapter hosting one shard store, per the placement."""
-    return account.provenance_backends()[router.backend_for(domain)]
+def backend_for_site(account: AWSAccount, site: Site):
+    """The backend adapter hosting one routed site."""
+    return account.provenance_backends()[site.kind]
 
 
 def put_provenance_item(
     account: AWSAccount,
-    router: ShardRouter,
+    routing: RouterHandle | ShardRouter,
     item_name: str,
     attributes: Iterable[tuple[str, str]],
 ) -> None:
-    """Store one provenance item on its shard's placed backend.
+    """Store one provenance item per the handle's current write plan.
 
     The single implementation of §4.2 step 3 / §4.3 step 2(c): both the
     A2 client path and the A3 commit daemon must route, batch, and place
@@ -264,11 +284,31 @@ def put_provenance_item(
     backend handles its own write shape — SimpleDB batches ≤100
     attributes per PutAttributes call, the DynamoDB-style store merges
     one string-set UpdateItem — and both are idempotent set-merges.
+
+    During a live migration the plan may name a second site (the
+    double-write window: the write is mirrored to the target layout,
+    its spend captured in a scoped meter context and attributed to the
+    migration's overhead, never to the client's own bill analysis) or
+    ask for WAL capture (the copy phase: the bulk copy may already have
+    passed this item, so the write is queued for catch-up replay).
     """
-    domain = router.domain_for_item(item_name)
-    provenance_backend(account, router, domain).put_provenance_item(
-        domain, item_name, list(attributes)
+    routing = as_handle(routing)
+    plan = routing.write_plan(item_name)
+    attrs = list(attributes)
+    primary, *mirrors = plan.sites
+    backend_for_site(account, primary).put_provenance_item(
+        primary.domain, item_name, attrs
     )
+    migration = routing.migration
+    for site in mirrors:
+        with account.meter.scoped() as scope:
+            backend_for_site(account, site).put_provenance_item(
+                site.domain, item_name, attrs
+            )
+        if migration is not None:
+            migration.note_double_write(site, scope.usage())
+    if plan.capture and migration is not None:
+        migration.capture_write(item_name, attrs)
 
 
 def data_key(name: str) -> str:

@@ -42,6 +42,7 @@ from repro.core.base import (
 )
 from repro.core.wal import AssembledTransaction, TransactionAssembler
 from repro.errors import NoSuchKey, ReceiptHandleInvalid
+from repro.migration.handle import RouterHandle, as_handle
 from repro.sharding import ShardRouter
 from repro.units import SECONDS_PER_DAY
 
@@ -82,7 +83,7 @@ class CommitDaemon:
         empty_rounds_to_stop: int = 4,
         visibility_timeout: float = 120.0,
         faults: FaultPlan = NO_FAULTS,
-        router: ShardRouter | None = None,
+        router: ShardRouter | RouterHandle | None = None,
     ):
         self.account = account
         self.queue_url = queue_url
@@ -90,9 +91,14 @@ class CommitDaemon:
         #: heterogeneous placement, to that shard's backend (SimpleDB or
         #: the DynamoDB-style table; both merge writes as sets, so the
         #: replay-idempotency argument above holds per backend). The
-        #: default single-shard router reproduces the paper's one-domain
-        #: layout.
-        self.router = router or ShardRouter(1)
+        #: daemon shares the store's :class:`RouterHandle`, so during a
+        #: live migration its applies observe the same double-write
+        #: window and per-shard cutovers as the client write path — a
+        #: transaction logged before a migration and applied after it
+        #: lands on the layout that is authoritative *at apply time*.
+        #: The default single-shard router reproduces the paper's
+        #: one-domain layout.
+        self.routing = as_handle(router if router is not None else ShardRouter(1))
         self.threshold = threshold
         self.receive_batch = receive_batch
         self.max_rounds = max_rounds
@@ -243,7 +249,7 @@ class CommitDaemon:
         # 2(c): store the provenance items, ≤100 attributes per call,
         # each item on its shard's domain (same helper as the A2 path).
         for item_name, attributes in txn.items():
-            put_provenance_item(self.account, self.router, item_name, attributes)
+            put_provenance_item(self.account, self.routing, item_name, attributes)
         faults.check("daemon.apply.after_put_attributes")
 
         # 2(d): delete the WAL messages...

@@ -44,8 +44,8 @@ from repro.core.base import (
     ReadResult,
     RetryPolicy,
     _InconsistentRead,
+    backend_for_site,
     data_key,
-    provenance_backend,
     put_provenance_item,
 )
 from repro.errors import NoSuchKey, ReadCorrectnessViolation
@@ -83,7 +83,7 @@ class S3SimpleDB(ProvenanceCloudStore):
 
     def _do_provision(self) -> None:
         self._ensure_bucket(DATA_BUCKET)
-        self.router.provision(self.account.provenance_backends())
+        self.routing.provision(self.account.provenance_backends())
 
     # -- store protocol (§4.2) ------------------------------------------------
 
@@ -122,7 +122,7 @@ class S3SimpleDB(ProvenanceCloudStore):
         shards because an item lives wholly on one shard.
         """
         put_provenance_item(
-            self.account, self.router, payload.item_name, payload.attributes
+            self.account, self.routing, payload.item_name, payload.attributes
         )
 
     # -- read protocol -------------------------------------------------------------
@@ -186,12 +186,12 @@ class S3SimpleDB(ProvenanceCloudStore):
         SimpleDB shards read a replica via GetAttributes; DynamoDB-style
         shards issue an eventually consistent GetItem — either way the
         read may be stale or empty, which is exactly what the MD5‖nonce
-        retry discipline exists to absorb.
+        retry discipline exists to absorb. The site comes from the
+        shared routing handle: during a live migration reads stay on
+        the source layout until the owning shard cuts over.
         """
-        domain = self.router.domain_for(name)
-        return provenance_backend(self.account, self.router, domain).get_item(
-            domain, item_name
-        )
+        site = self.routing.read_site(name)
+        return backend_for_site(self.account, site).get_item(site.domain, item_name)
 
     def _decode_item(self, item_name: str, attrs) -> ProvenanceBundle:
         def fetch_overflow(key: str) -> str:
@@ -234,18 +234,29 @@ class S3SimpleDB(ProvenanceCloudStore):
         that crashed between step 3 (provenance) and step 4 (data). The
         scan touches every item in every shard domain, which is exactly
         why the paper calls this recovery inelegant and motivates A3
-        (and sharding only multiplies the scan's fan-out).
+        (and sharding only multiplies the scan's fan-out). During a
+        live migration the scan covers the union of source stores and
+        cut-over target stores, and each orphan is deleted from *every*
+        site it may occupy — deleting only one copy would resurrect the
+        other at cutover.
         """
         self.provision()
         removed = []
-        for domain in self.router.domains:
-            backend = provenance_backend(self.account, self.router, domain)
-            for item_name, attrs in backend.scan_pages(domain):
+        seen: set[str] = set()
+        for site in self.routing.query_sites():
+            backend = backend_for_site(self.account, site)
+            for item_name, attrs in backend.scan_pages(site.domain):
                 if Attr.MD5 not in attrs:
                     continue  # transient-object item; no data expected
+                if item_name in seen:
+                    continue  # already examined via another site's copy
+                seen.add(item_name)  # the verdict is per item, not per site
                 subject = ObjectRef.from_item_name(item_name)
                 if self._is_orphan(subject):
-                    backend.delete_item(domain, item_name)
+                    for delete_site in self.routing.delete_sites(item_name):
+                        backend_for_site(self.account, delete_site).delete_item(
+                            delete_site.domain, item_name
+                        )
                     removed.append(item_name)
         self.orphans_removed += len(removed)
         return removed

@@ -89,7 +89,7 @@ class S3SimpleDBSQS(S3SimpleDB):
                 self.queue_url,
                 threshold=self._commit_threshold,
                 faults=self._daemon_faults,
-                router=self.router,
+                router=self.routing,
             )
         return self._commit_daemon
 
@@ -108,7 +108,7 @@ class S3SimpleDBSQS(S3SimpleDB):
             self.queue_url,
             threshold=self._commit_threshold,
             faults=faults,
-            router=self.router,
+            router=self.routing,
         )
         return self._commit_daemon
 

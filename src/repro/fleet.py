@@ -26,6 +26,8 @@ from repro.core.s3_simpledb import S3SimpleDB
 from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
 from repro.core.s3_standalone import S3Standalone
 from repro.errors import ClientCrash
+from repro.migration.handle import RouterHandle
+from repro.migration.live import LiveMigration, MigrationReport, begin_live_migration
 from repro.passlib.records import FlushEvent
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
 from repro.sharding import ShardRouter
@@ -82,9 +84,12 @@ class ClientFleet:
         #: never the module-level ``random`` state, which other tests
         #: (or pytest-xdist workers) would perturb. Same seed, same run.
         self._rng = random.Random(f"fleet:{seed}")
-        #: All clients share one shard layout (and backend placement) of
-        #: the provenance domain.
-        self.router = ShardRouter(shards, placement=placement)
+        #: All clients share one *routing handle* over the shard layout
+        #: (and backend placement) of the provenance domain — so a live
+        #: migration redirects every client's store, every commit
+        #: daemon, and every shared query engine simultaneously, epoch
+        #: by epoch.
+        self.routing = RouterHandle(ShardRouter(shards, placement=placement))
         #: Worker-pool width for shared query engines (None → sequential
         #: or the ``REPRO_QUERY_CONCURRENCY`` environment override).
         self.concurrency = concurrency
@@ -98,7 +103,7 @@ class ClientFleet:
         retry = RetryPolicy(
             attempts=12, wait=lambda: self.account.clock.advance(0.5)
         )
-        kwargs = {"router": self.router}
+        kwargs = {"router": self.routing}
         if self.architecture == "s3+simpledb+sqs":
             kwargs["client_id"] = name
         store = _FACTORIES[self.architecture](
@@ -142,6 +147,32 @@ class ClientFleet:
             assigned[name] += len(trace)
         return assigned
 
+    def _store_round(self, batch: int, crash_schedule: dict | None = None) -> int:
+        """One round-robin round: each client stores up to ``batch`` of
+        its backlog; returns events stored. The single drain protocol
+        both :meth:`run_round_robin` and :meth:`run_live_migration`
+        interleave their work with — crash handling included."""
+        stored = 0
+        for name in sorted(self.clients):
+            client = self.clients[name]
+            for _ in range(min(batch, client.backlog)):
+                event = client.pending[0]
+                if crash_schedule and crash_schedule.get(name) == client.stored:
+                    del crash_schedule[name]
+                    client.store.faults.crash_at_call(
+                        len(client.store.faults.log) + 3
+                    )
+                    try:
+                        client.store.store(event)
+                    except ClientCrash:
+                        self.crash_client(name)
+                        break  # next incarnation picks the event up
+                client.store.store(event)
+                client.pending.pop(0)
+                client.stored += 1
+                stored += 1
+        return stored
+
     def run_round_robin(self, batch: int = 5, crash_schedule: dict | None = None) -> int:
         """Interleave stores across clients until every backlog drains.
 
@@ -153,31 +184,66 @@ class ClientFleet:
         """
         crash_schedule = dict(crash_schedule or {})
         total = 0
-        progress = True
-        while progress:
-            progress = False
-            for name in sorted(self.clients):
-                client = self.clients[name]
-                for _ in range(min(batch, client.backlog)):
-                    event = client.pending[0]
-                    if crash_schedule.get(name) == client.stored:
-                        del crash_schedule[name]
-                        client.store.faults.crash_at_call(
-                            len(client.store.faults.log) + 3
-                        )
-                        try:
-                            client.store.store(event)
-                        except ClientCrash:
-                            self.crash_client(name)
-                            break  # next incarnation picks the event up
-                    client.store.store(event)
-                    client.pending.pop(0)
-                    client.stored += 1
-                    total += 1
-                if client.backlog:
-                    progress = True
+        while True:
+            stored = self._store_round(batch, crash_schedule)
+            total += stored
+            if not stored and not any(
+                client.backlog for client in self.clients.values()
+            ):
+                break
         self.settle()
         return total
+
+    # -- live layout migration ---------------------------------------------------
+
+    def start_migration(
+        self,
+        shards: int | None = None,
+        placement: str | dict[int, str] | None = None,
+        router: ShardRouter | None = None,
+        **knobs,
+    ) -> LiveMigration:
+        """Begin an online migration of the fleet's shared shard layout."""
+        if self.architecture == "s3":
+            raise ValueError("the s3 architecture has no provenance shards to migrate")
+        return begin_live_migration(
+            self.account, self.routing, shards, placement, router, **knobs
+        )
+
+    def run_live_migration(
+        self,
+        shards: int | None = None,
+        placement: str | dict[int, str] | None = None,
+        router: ShardRouter | None = None,
+        batch: int = 5,
+        steps_per_round: int = 1,
+        **knobs,
+    ) -> MigrationReport:
+        """The live-migration scenario: migrate *while* the fleet writes.
+
+        Interleaves the fleet's round-robin store protocol with
+        migration steps: every round, each client stores up to
+        ``batch`` of its backlog, then the migration advances
+        ``steps_per_round`` units (a shard copy, a WAL drain round, a
+        per-shard cutover). Whichever finishes first, the other is
+        driven to completion — the fleet keeps writing straight through
+        every phase transition, which is the whole point. Returns the
+        :class:`MigrationReport`; client backlogs are fully drained and
+        the cloud settled on return.
+        """
+        migration = self.start_migration(shards, placement, router, **knobs)
+        migrating = True
+        while True:
+            stored = self._store_round(batch)
+            if migrating:
+                for _ in range(steps_per_round):
+                    migrating = migration.step()
+                    if not migrating:
+                        break
+            if not stored and not migrating:
+                break
+        self.settle()
+        return migration.report
 
     def settle(self) -> None:
         """Drain every client's daemon and let replication converge."""
@@ -195,11 +261,16 @@ class ClientFleet:
 
     # -- shared queries ---------------------------------------------------------------
 
+    @property
+    def router(self) -> ShardRouter:
+        """The settled shard layout (the source during a live migration)."""
+        return self.routing.current
+
     def query_engine(self):
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
         return SimpleDBEngine(
-            self.account, router=self.router, concurrency=self.concurrency
+            self.account, router=self.routing, concurrency=self.concurrency
         )
 
     def read(self, name: str):

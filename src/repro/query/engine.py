@@ -68,6 +68,7 @@ from repro.passlib.serializer import (
     bundles_from_s3_metadata,
     parse_nonce,
 )
+from repro.migration.handle import RouterHandle, Site, as_handle
 from repro.query.latency import DEFAULT_LATENCY_MODEL, QueryLatencyModel, makespan
 from repro.sharding import ShardRouter
 
@@ -280,18 +281,25 @@ class SimpleDBEngine(_Metered):
         bucket: str = DATA_BUCKET,
         ref_batch: int = REF_BATCH,
         select_mode: bool = False,
-        router: ShardRouter | None = None,
+        router: ShardRouter | RouterHandle | None = None,
         concurrency: int | None = None,
         latency_model: QueryLatencyModel = DEFAULT_LATENCY_MODEL,
     ):
         super().__init__(account, latency_model)
-        self.router = router or ShardRouter(1, base_domain=domain)
+        #: Shared routing indirection: passing a store's handle (what
+        #: ``Simulation.query_engine`` does) makes every scatter phase
+        #: observe live-migration cutovers at the moment it dispatches —
+        #: during a migration, phases cover the union of source stores
+        #: and cut-over target stores.
+        self.routing = as_handle(
+            router if router is not None else ShardRouter(1, base_domain=domain)
+        )
         #: Backend adapters by kind; each shard's stream reads through
         #: the adapter its placement names.
         self.backends = account.provenance_backends()
         #: Retained for single-shard callers (and select rendering when
         #: N=1); with ``shards > 1`` queries name per-shard domains.
-        self.domain = self.router.domains[0]
+        self.domain = self.routing.current.domains[0]
         self.bucket = bucket
         self.ref_batch = ref_batch
         self.select_mode = select_mode
@@ -301,8 +309,14 @@ class SimpleDBEngine(_Metered):
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         self.concurrency = concurrency
         self._shard_spend: dict[str, tuple[int, int]] = {}
+        self._site_kinds: dict[str, str] = {}
         self._latency = 0.0
         self._sequential_latency = 0.0
+
+    @property
+    def router(self) -> ShardRouter:
+        """The settled layout (kept for introspection call sites)."""
+        return self.routing.current
 
     def _fetch_overflow(self, key: str) -> str:
         return self.account.s3.get(self.bucket, key).bytes().decode("utf-8")
@@ -312,9 +326,35 @@ class SimpleDBEngine(_Metered):
     def _begin(self) -> Usage:
         """Start a measured query: reset accounting, snapshot the meter."""
         self._shard_spend = {}
+        self._site_kinds = {}
         self._latency = 0.0
         self._sequential_latency = 0.0
         return self.account.meter.snapshot()
+
+    def _query_sites(self) -> list[tuple[str, Site]]:
+        """(label, site) pairs a scatter phase must cover.
+
+        Labels are the ``per_shard`` accounting keys — the store name,
+        disambiguated with the backend kind in the one case two layouts
+        put the same name on different backends mid-flip-migration.
+        """
+        sites = self.routing.query_sites()
+        domains = [site.domain for site in sites]
+        labelled = []
+        for site in sites:
+            label = (
+                site.domain
+                if domains.count(site.domain) == 1
+                else f"{site.domain}[{site.kind}]"
+            )
+            self._site_kinds[label] = site.kind
+            labelled.append((label, site))
+        return labelled
+
+    def _label(self, site: Site) -> str:
+        """Accounting label for a single-site wave (never ambiguous)."""
+        self._site_kinds[site.domain] = site.kind
+        return site.domain
 
     def _run_wave(self, tasks: list[tuple[str, Callable[[], T]]]) -> list[T]:
         """Dispatch one scatter wave of per-shard request streams.
@@ -368,9 +408,9 @@ class SimpleDBEngine(_Metered):
         self._sequential_latency += sum(durations)
         return results
 
-    def _backend(self, domain: str):
-        """The backend adapter hosting one shard domain."""
-        return self.backends[self.router.backend_for(domain)]
+    def _backend(self, site: Site):
+        """The backend adapter hosting one routed site."""
+        return self.backends[site.kind]
 
     def _measure_sharded(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
         measurement = self._measure(refs, before)
@@ -380,7 +420,7 @@ class SimpleDBEngine(_Metered):
         )
         by_backend: dict[str, tuple[int, int]] = {}
         for domain, ops, nbytes in per_shard:
-            kind = self.router.backend_for(domain)
+            kind = self._site_kinds.get(domain) or self.router.backend_for(domain)
             total_ops, total_bytes = by_backend.get(kind, (0, 0))
             by_backend[kind] = (total_ops + ops, total_bytes + nbytes)
         return replace(
@@ -400,19 +440,21 @@ class SimpleDBEngine(_Metered):
         """Provenance of one object version: a single indexed lookup.
 
         Routed to the shard owning ``ref.path`` — its operation count is
-        independent of how many shards the domain is split into.
+        independent of how many shards the domain is split into (during
+        a live migration, the source shard until the owning target
+        shard cuts over, then the target).
         """
         before = self._begin()
-        domain = self.router.domain_for(ref.path)
-        backend = self._backend(domain)
+        site = self.routing.read_site(ref.path)
+        backend = self._backend(site)
 
         def lookup() -> ProvenanceBundle | None:
-            attrs = backend.get_item(domain, ref.item_name)
+            attrs = backend.get_item(site.domain, ref.item_name)
             if not attrs:
                 return None
             return bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
 
-        (bundle,) = self._run_wave([(domain, lookup)])
+        (bundle,) = self._run_wave([(self._label(site), lookup)])
         refs = {bundle.subject} if bundle is not None else set()
         return self._measure_sharded(refs, before)
 
@@ -429,12 +471,12 @@ class SimpleDBEngine(_Metered):
         """
         before = self._begin()
 
-        def scan_shard(domain: str) -> Callable[[], set[ObjectRef]]:
-            backend = self._backend(domain)
+        def scan_shard(site: Site) -> Callable[[], set[ObjectRef]]:
+            backend = self._backend(site)
 
             def stream() -> set[ObjectRef]:
                 found: set[ObjectRef] = set()
-                for item_name, attrs in backend.enumerate_items(domain):
+                for item_name, attrs in backend.enumerate_items(site.domain):
                     if not attrs:
                         continue
                     bundle = bundle_from_item(
@@ -446,7 +488,7 @@ class SimpleDBEngine(_Metered):
             return stream
 
         shard_refs = self._run_wave(
-            [(domain, scan_shard(domain)) for domain in self.router.domains]
+            [(label, scan_shard(site)) for label, site in self._query_sites()]
         )
         refs: set[ObjectRef] = set()
         for found in shard_refs:
@@ -455,8 +497,8 @@ class SimpleDBEngine(_Metered):
 
     # -- Q2 -------------------------------------------------------------------------
 
-    def _paged_query(self, domain: str, expression: str, select: str):
-        """Run one logical query on one shard via its backend, paging.
+    def _paged_query(self, site: Site, expression: str, select: str):
+        """Run one logical query on one site via its backend, paging.
 
         Yields (item name, attrs) pairs; the bracket expression and the
         SELECT statement are two spellings of the same predicate (a
@@ -466,32 +508,32 @@ class SimpleDBEngine(_Metered):
         consuming stream opened — callers consume the generator fully
         inside their task.
         """
-        return self._backend(domain).query_pages(
-            domain, expression, select, self.select_mode, [Attr.TYPE]
+        return self._backend(site).query_pages(
+            site.domain, expression, select, self.select_mode, [Attr.TYPE]
         )
 
     def _find_program_instances(self, program: str) -> set[ObjectRef]:
-        """Phase 1: all process versions of ``program`` — every shard."""
+        """Phase 1: all process versions of ``program`` — every site."""
         literal = quote_literal(program)
         expression = f"['type' = 'process'] intersection ['name' = {literal}]"
 
-        def find_on(domain: str) -> Callable[[], list[ObjectRef]]:
+        def find_on(site: Site) -> Callable[[], list[ObjectRef]]:
             select = (
-                f"select type from {domain} "
+                f"select type from {site.domain} "
                 f"where type = 'process' and name = {literal}"
             )
 
             def stream() -> list[ObjectRef]:
                 return [
                     ObjectRef.from_item_name(name)
-                    for name, _ in self._paged_query(domain, expression, select)
+                    for name, _ in self._paged_query(site, expression, select)
                 ]
 
             return stream
 
         found: set[ObjectRef] = set()
         for refs in self._run_wave(
-            [(domain, find_on(domain)) for domain in self.router.domains]
+            [(label, find_on(site)) for label, site in self._query_sites()]
         ):
             found.update(refs)
         return found
@@ -505,6 +547,7 @@ class SimpleDBEngine(_Metered):
         independent reads, so they form a single dispatch wave.
         """
         ordered = sorted(inputs)
+        sites = self._query_sites()
         tasks: list[tuple[str, Callable[[], list[tuple[ObjectRef, str]]]]] = []
         for start in range(0, len(ordered), self.ref_batch):
             chunk = ordered[start : start + self.ref_batch]
@@ -512,20 +555,22 @@ class SimpleDBEngine(_Metered):
             disjunction = " or ".join(f"'input' = {lit}" for lit in literals)
             expression = f"[{disjunction}]"
             in_list = ", ".join(literals)
-            for domain in self.router.domains:
-                select = f"select type from {domain} where input in ({in_list})"
-                tasks.append((domain, self._match_stream(domain, expression, select)))
+            for label, site in sites:
+                select = (
+                    f"select type from {site.domain} where input in ({in_list})"
+                )
+                tasks.append((label, self._match_stream(site, expression, select)))
         found: set[tuple[ObjectRef, str]] = set()
         for matches in self._run_wave(tasks):
             found.update(matches)
         return found
 
     def _match_stream(
-        self, domain: str, expression: str, select: str
+        self, site: Site, expression: str, select: str
     ) -> Callable[[], list[tuple[ObjectRef, str]]]:
         def stream() -> list[tuple[ObjectRef, str]]:
             matches: list[tuple[ObjectRef, str]] = []
-            for name, attrs in self._paged_query(domain, expression, select):
+            for name, attrs in self._paged_query(site, expression, select):
                 kind = (attrs.get(Attr.TYPE) or ("file",))[0]
                 matches.append((ObjectRef.from_item_name(name), kind))
             return matches

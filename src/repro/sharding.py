@@ -39,9 +39,20 @@ Consistency caveats (documented here, tested in
 * cross-shard queries (Q2/Q3 scatter-gather) offer no snapshot
   isolation: each shard is read at its own replica time, exactly like
   issuing the N queries by hand against N separate domains;
-* :func:`rebalance` copies through the public SimpleDB API, so it reads
-  replica state — run it after the cloud has quiesced (a maintenance
-  window) or orchestrate a double-write window around it.
+* :func:`rebalance` here is the **offline** path: it copies through the
+  public read APIs (replica state) and moves items in place, so it is
+  correct only in a write-quiet window — but in that window it is the
+  cheapest possible migration (one write per moved item, no mirroring,
+  no WAL). Under live traffic use the **online** protocol in
+  :mod:`repro.migration` instead: every routing consumer goes through a
+  shared :class:`~repro.migration.RouterHandle` (the routing-epoch
+  indirection), and :class:`~repro.migration.LiveMigration` reshapes
+  the layout in phases — bulk copy with WAL capture, a double-write
+  window, WAL catch-up replay, per-shard cutover (one epoch bump each),
+  and verified drop — at the metered cost of the double-writes, replays
+  and verification reads its :class:`~repro.migration.MigrationReport`
+  itemises. Rule of thumb: offline when you can quiesce, online when
+  you cannot.
 """
 
 from __future__ import annotations
@@ -245,6 +256,33 @@ class ShardRouter:
         """Ordinal of the shard owning ``path`` (for skew statistics)."""
         return self.domains.index(self.domain_for(path))
 
+    def resized(
+        self,
+        shards: int | None = None,
+        placement: str | Mapping[int, str] | Sequence[str] | None = None,
+    ) -> "ShardRouter":
+        """A router for a changed layout, inheriting what isn't overridden.
+
+        Base domain and vnodes always carry over. When ``placement`` is
+        not given, the *current placement pattern is tiled* across the
+        new shard count — a uniform layout stays uniform, an alternating
+        one stays alternating — rather than falling back to the
+        ``REPRO_BACKEND_PLACEMENT`` environment default, so a
+        shards-only migration can never silently flip the deployment's
+        backend choice.
+        """
+        shards = self.shards if shards is None else shards
+        if placement is None:
+            placement = tuple(
+                self.placement[index % self.shards] for index in range(shards)
+            )
+        return ShardRouter(
+            shards,
+            base_domain=self.base_domain,
+            vnodes=self.vnodes,
+            placement=placement,
+        )
+
     # -- placement ----------------------------------------------------------
 
     def backend_for(self, domain: str) -> str:
@@ -294,6 +332,20 @@ class ShardRouter:
         )
 
 
+def item_attribute_pairs(attrs: Mapping[str, Sequence[str]]) -> list[tuple[str, str]]:
+    """Flatten an item's attribute map to sorted (name, value) pairs.
+
+    The canonical serialisation order every migration write batches in —
+    offline rebalance, the online bulk copy, and the drop-phase repair
+    must all produce identical put sequences for the same item.
+    """
+    return [
+        (attribute, value)
+        for attribute in sorted(attrs)
+        for value in attrs[attribute]
+    ]
+
+
 @dataclass
 class RebalanceReport:
     """What a shard rebalance did (counters for tests and operators).
@@ -312,6 +364,12 @@ class RebalanceReport:
     cross_backend_moves: int = 0
     moves_by_domain: dict[str, int] = field(default_factory=dict)
     domains_deleted: list[str] = field(default_factory=list)
+    #: Items the migration read off a covering (ALL-projection) GSI
+    #: instead of scanning the base table — the index-aware migration
+    #: read path, available only for DynamoDB-placed source shards that
+    #: declare such an index (0 otherwise, including every historical
+    #: layout).
+    index_streamed_items: int = 0
     #: Write units spent creating/backfilling/maintaining global
     #: secondary indexes on DynamoDB-placed destination shards during
     #: the migration — the metered price of making the target layout
@@ -328,13 +386,15 @@ def rebalance(
 ) -> RebalanceReport:
     """Move every provenance item from ``source``'s layout to ``target``'s.
 
-    Walks each source store through its backend's public read API,
-    re-puts items whose owning shard — or owning *backend* — changed,
-    and deletes them from the old store. Values are copied verbatim
-    (multi-valued attributes included), so the union of all bundles is
-    preserved exactly — the round-trip invariant the property suite
-    checks. Both backends merge writes as sets, so a re-run after a
-    crash is idempotent.
+    Walks each source store through its backend's migration read stream
+    (the full scan, or a covering ALL-projection GSI on DynamoDB-placed
+    shards — see ``migration_pages`` and
+    ``RebalanceReport.index_streamed_items``), re-puts items whose
+    owning shard — or owning *backend* — changed, and deletes them from
+    the old store. Values are copied verbatim (multi-valued attributes
+    included), so the union of all bundles is preserved exactly — the
+    round-trip invariant the property suite checks. Both backends merge
+    writes as sets, so a re-run after a crash is idempotent.
 
     Heterogeneous layouts migrate *across backends*: an item whose shard
     keeps its domain name but moves from SimpleDB to the DynamoDB-style
@@ -353,7 +413,10 @@ def rebalance(
 
     Consistency caveat: reads go through replicas on either backend;
     rebalance during a write-quiet window (or quiesce the simulated
-    cloud first).
+    cloud first). For migrations that must run under live writers, use
+    :class:`repro.migration.LiveMigration` (``Simulation.migrate(...,
+    online=True)``), which pays for a double-write window and WAL
+    catch-up instead of requiring quiescence.
     """
     backends = _resolve_backends(cloud)
     report = RebalanceReport()
@@ -370,18 +433,17 @@ def rebalance(
     for source_domain in source.domains:
         source_kind = source.backend_for(source_domain)
         source_backend = _backend_for(backends, source, source_domain)
-        for item_name, attrs in source_backend.scan_pages(source_domain):
+        via_index, pages = source_backend.migration_pages(source_domain)
+        for item_name, attrs in pages:
             report.items_scanned += 1
+            if via_index:
+                report.index_streamed_items += 1
             target_domain = target.domain_for_item(item_name)
             target_kind = target.backend_for(target_domain)
             if target_domain == source_domain and target_kind == source_kind:
                 report.items_kept += 1
                 continue
-            pairs = [
-                (attribute, value)
-                for attribute in sorted(attrs)
-                for value in attrs[attribute]
-            ]
+            pairs = item_attribute_pairs(attrs)
             target_backend = _backend_for(backends, target, target_domain)
             for start in range(0, len(pairs), put_batch):
                 target_backend.put_provenance_item(

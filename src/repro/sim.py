@@ -26,9 +26,14 @@ from repro.core.base import ProvenanceCloudStore, ReadResult, RetryPolicy
 from repro.core.s3_simpledb import S3SimpleDB
 from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
 from repro.core.s3_standalone import S3Standalone
+from repro.migration.live import (
+    LiveMigration,
+    begin_live_migration,
+    resolve_target_router,
+)
 from repro.passlib.records import FlushEvent
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
-from repro.sharding import ShardRouter
+from repro.sharding import RebalanceReport, ShardRouter, rebalance
 from repro.workloads.base import TraceStats, Workload
 
 _FACTORIES = {
@@ -165,12 +170,64 @@ class Simulation:
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
         return SimpleDBEngine(
-            self.account, router=self.store.router, concurrency=self.concurrency
+            self.account, router=self.store.routing, concurrency=self.concurrency
         )
 
     def scan_engine(self) -> S3ScanEngine:
         """An S3-scan engine (for apples-to-apples comparisons)."""
         return S3ScanEngine(self.account)
+
+    # -- layout migration -------------------------------------------------------
+
+    def start_migration(
+        self,
+        shards: int | None = None,
+        placement: str | dict[int, str] | None = None,
+        router: ShardRouter | None = None,
+        **knobs,
+    ) -> LiveMigration:
+        """Begin an online migration to a new shard layout/placement.
+
+        Returns the started :class:`LiveMigration`; drive it with
+        ``step()`` between batches of live traffic (or ``run()`` to
+        completion). Every consumer sharing the store's routing handle
+        — stores, the commit daemon, query engines from
+        :meth:`query_engine` — observes the double-write window and
+        per-shard cutovers as they happen.
+        """
+        if self.architecture == "s3":
+            raise ValueError("the s3 architecture has no provenance shards to migrate")
+        return begin_live_migration(
+            self.account, self.store.routing, shards, placement, router, **knobs
+        )
+
+    def migrate(
+        self,
+        shards: int | None = None,
+        placement: str | dict[int, str] | None = None,
+        router: ShardRouter | None = None,
+        online: bool = True,
+        **knobs,
+    ) -> RebalanceReport:
+        """Reshape the provenance layout; returns the migration report.
+
+        ``online=True`` (default) runs the live protocol — safe under
+        concurrent writers, at the metered cost of double-writes,
+        WAL catch-up, and cutover verification. ``online=False`` runs
+        the offline :func:`~repro.sharding.rebalance` (cheaper: one
+        write per moved item) and swaps the layout atomically — correct
+        only in a write-quiet window.
+        """
+        if online:
+            return self.start_migration(shards, placement, router, **knobs).run()
+        if self.architecture == "s3":
+            raise ValueError("the s3 architecture has no provenance shards to migrate")
+        target = resolve_target_router(
+            self.store.routing.current, shards, placement, router
+        )
+        report = rebalance(self.account, self.store.routing.current, target)
+        self.store.routing.swap(target)
+        return report
 
     # -- accounting ------------------------------------------------------------
 
