@@ -30,6 +30,18 @@
 #                                GSI Queries (scan fallback when absent/stale);
 #                                bench_multibackend.py quantifies Scan vs GSI
 #                                vs SimpleDB-Select (it is in BENCH_SMOKE_FILES)
+#   REPRO_WRITE_BATCH=N          group-commit width for the batched write
+#                                path (also `repro demo --write-batch N`):
+#                                the client coalescer buffers provenance
+#                                puts and flushes them through the batch
+#                                APIs (BatchPutAttributes / BatchWriteItem),
+#                                and the A3 commit daemon applies rounds of
+#                                N transactions with batched puts and
+#                                DeleteMessageBatch. 1 (default) = the
+#                                paper's one-request-per-item path,
+#                                byte-identical on the meter;
+#                                bench_group_commit.py quantifies the
+#                                ops/item and USD/item savings at 8 and 25
 #   REPRO_MIGRATION=...          default `repro demo --migrate` spec: e.g.
 #                                "shards=8,placement=mixed" (online live
 #                                migration — copy/double-write/catch-up/
@@ -48,7 +60,8 @@ BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='
 # The benchmarks bench-smoke runs (kept in one place so CI and local
 # smoke stay in sync — extend this list as new benchmarks land).
 BENCH_SMOKE_FILES = bench_sharding_scaleout.py bench_concurrent_gather.py \
-	bench_multibackend.py bench_migration_live.py bench_table3_query.py
+	bench_multibackend.py bench_migration_live.py bench_table3_query.py \
+	bench_group_commit.py
 
 # The live-migration suites alone (fleet writing while a layout
 # migration runs) — what the CI live-migration job executes.

@@ -15,7 +15,9 @@ online-migration headline totals (items copied, double-writes, WAL
 records captured/replayed, cutover epochs, and overhead ops/bytes) for
 a grow-under-traffic and an sdb→ddb-flip-with-GSI-backfill scenario, so
 a change to the live protocol's request streams is just as visible in
-review as a query-path drift.
+review as a query-path drift. The ``group-commit/wb=N`` keys pin the
+batched A3 write path's request totals at widths 1/8/25 — the wb=1 row
+is the meter-identity sentinel for the legacy single-request path.
 
 Usage::
 
@@ -93,6 +95,35 @@ def measure() -> dict[str, int]:
                 totals[f"{prefix}/{name}/bytes_out"] = measurement.bytes_out
                 totals[f"{prefix}/{name}/results"] = measurement.result_count
     totals.update(measure_migration(events))
+    totals.update(measure_group_commit(events))
+    return totals
+
+
+def measure_group_commit(events) -> dict[str, int]:
+    """Batched write-path totals at the three headline widths.
+
+    The ``wb=1`` row doubles as the meter-identity sentinel: it must
+    stay byte-identical to what the pre-batching A3 write path spent,
+    so any accidental change to the legacy single-request path shows up
+    here even with batching off everywhere else.
+    """
+    from repro.aws import billing
+    from repro.sim import Simulation
+
+    sample = events[: len(events) // 2]
+    totals: dict[str, int] = {}
+    for width in (1, 8, 25):
+        sim = Simulation(
+            architecture="s3+simpledb+sqs", seed=SEED,
+            write_batch=width, commit_threshold=1000,
+        )
+        before = sim.account.meter.snapshot()
+        sim.store_events(sample, collect=False)
+        load = sim.account.meter.snapshot() - before
+        prefix = f"group-commit/wb={width}"
+        totals[f"{prefix}/ops"] = load.request_count()
+        totals[f"{prefix}/sdb_ops"] = load.request_count(billing.SDB)
+        totals[f"{prefix}/sqs_ops"] = load.request_count(billing.SQS)
     return totals
 
 

@@ -67,7 +67,11 @@ from repro.aws.sdb_query import (
 )
 from repro.aws.simpledb import Attribute, SimpleDBService
 from repro.errors import ProvisionedThroughputExceeded, ServiceUnavailable
-from repro.units import SDB_MAX_ATTRS_PER_CALL
+from repro.units import (
+    DDB_MAX_BATCH_WRITE_ITEMS,
+    SDB_MAX_ATTRS_PER_CALL,
+    SDB_MAX_BATCH_PUT_ITEMS,
+)
 
 #: Backend kind names, as used in placement maps and CLI knobs.
 SDB_KIND = "sdb"
@@ -256,6 +260,16 @@ class ProvenanceBackend(Protocol):
         """Merge attribute values into one item, per backend limits."""
         ...
 
+    def put_provenance_items(
+        self, store: str, items: list[tuple[str, list[tuple[str, str]]]]
+    ) -> None:
+        """Merge many items in as few round trips as the backend's batch
+        API allows. Same merge semantics as repeated
+        :meth:`put_provenance_item` — replaying any batch is idempotent —
+        but the request count (and therefore the per-request charges)
+        amortises across the batch."""
+        ...
+
     def delete_item(self, store: str, item_name: str) -> None:
         """Remove one whole item (idempotent)."""
         ...
@@ -345,6 +359,32 @@ class SimpleDBBackend:
                 store,
                 item_name,
                 attrs[start : start + SDB_MAX_ATTRS_PER_CALL],
+            )
+
+    def put_provenance_items(
+        self, store: str, items: list[tuple[str, list[tuple[str, str]]]]
+    ) -> None:
+        """BatchPutAttributes in calls of ≤25 entries.
+
+        An item wider than the 100-attributes-per-entry limit becomes
+        several entries for the same item name (the service merges
+        repeated entries sequentially, so the result matches chunked
+        PutAttributes calls); entries then pack into ≤25-entry batch
+        calls. One batch call bills one box-usage charge where the
+        single-item path would bill up to 25.
+        """
+        entries: list[tuple[str, list[Attribute]]] = []
+        for item_name, attributes in items:
+            attrs = [Attribute(name, value) for name, value in attributes]
+            for start in range(0, len(attrs), SDB_MAX_ATTRS_PER_CALL):
+                entries.append(
+                    (item_name, attrs[start : start + SDB_MAX_ATTRS_PER_CALL])
+                )
+        for start in range(0, len(entries), SDB_MAX_BATCH_PUT_ITEMS):
+            _retry_unavailable(
+                self.service.batch_put_attributes,
+                store,
+                entries[start : start + SDB_MAX_BATCH_PUT_ITEMS],
             )
 
     def delete_item(self, store: str, item_name: str) -> None:
@@ -492,6 +532,46 @@ class DynamoBackend:
     ) -> None:
         """One string-set UpdateItem — no attribute batching limit."""
         self._with_backoff(self.service.update_item, store, item_name, list(attributes))
+
+    def put_provenance_items(
+        self, store: str, items: list[tuple[str, list[tuple[str, str]]]]
+    ) -> None:
+        """BatchWriteItem in calls of ≤25 put requests.
+
+        Write units price the bytes either way — what the batch saves is
+        the per-request charge. The service admits each entry against
+        the provisioned window independently and hands back the rest as
+        ``UnprocessedItems``; this loop retries exactly that remainder
+        after the standard backoff, mirroring :meth:`_with_backoff`'s
+        accounting (each retry round counts one throttle event and
+        advances the simulated clock).
+        """
+        pending = [(name, list(attrs)) for name, attrs in items]
+        while pending:
+            chunk = pending[:DDB_MAX_BATCH_WRITE_ITEMS]
+            rest = pending[DDB_MAX_BATCH_WRITE_ITEMS:]
+            backoffs = 0
+            while chunk:
+                try:
+                    chunk = _retry_unavailable(
+                        self.service.batch_write_item, store, chunk
+                    )
+                except ProvisionedThroughputExceeded:
+                    # Every entry throttled: nothing applied, nothing
+                    # metered — retry the whole chunk (or surface it).
+                    if backoffs >= self.max_backoffs:
+                        raise
+                if not chunk:
+                    break
+                if backoffs >= self.max_backoffs:
+                    raise ProvisionedThroughputExceeded(
+                        f"BatchWriteItem left {len(chunk)} unprocessed entries "
+                        f"after {self.max_backoffs} backoffs"
+                    )
+                backoffs += 1
+                self.throttled_requests += 1
+                self.service.clock.advance(self.backoff_seconds)
+            pending = rest
 
     def delete_item(self, store: str, item_name: str) -> None:
         self._with_backoff(self.service.delete_item, store, item_name)

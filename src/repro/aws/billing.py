@@ -68,6 +68,11 @@ S3_FREE_CLASS = frozenset({"DELETE"})
 #: writes ≈ 0.0000220 h, reads ≈ 0.0000093 h, queries scale with scanning.
 SDB_BOX_USAGE_HOURS = {
     "PutAttributes": 2.20e-5,
+    # Amazon's published BatchPutAttributes box-usage formula is a flat
+    # base (~0.0000220 h, the same as one PutAttributes) plus a cubic
+    # item-count term that is negligible at the 25-item cap — batching
+    # amortises nearly the whole machine-hour charge across the batch.
+    "BatchPutAttributes": 2.50e-5,
     "GetAttributes": 0.93e-5,
     "DeleteAttributes": 2.20e-5,
     "Query": 1.40e-5,
@@ -440,6 +445,10 @@ class PriceBook:
     ddb_storage_gb_month: float = 0.25
     ddb_transfer_in_gb: float = 0.10
     ddb_transfer_out_gb: float = 0.17
+    #: Per-API-call overhead, SQS-style. Capacity units price the bytes
+    #: written/read regardless of batching; this line prices the *round
+    #: trips*, which is what ``BatchWriteItem`` amortises.
+    ddb_per_10000_requests: float = 0.01
 
     def cost(self, usage: Usage) -> "CostReport":
         """Convert a usage snapshot to an itemised USD cost report."""
@@ -473,6 +482,10 @@ class PriceBook:
         lines.append((
             "dynamodb.write_units",
             usage.write_units(DDB) / 1_000_000 * self.ddb_write_per_million_units,
+        ))
+        lines.append((
+            "dynamodb.requests",
+            usage.request_count(DDB) / 10000 * self.ddb_per_10000_requests,
         ))
         lines.append(("dynamodb.transfer.in", usage.transfer_in(DDB) / GB * self.ddb_transfer_in_gb))
         lines.append(("dynamodb.transfer.out", usage.transfer_out(DDB) / GB * self.ddb_transfer_out_gb))

@@ -587,6 +587,112 @@ class DynamoDBService:
                 index.replicas.write(entry_key, dict(projected))
 
     @synchronized
+    def batch_write_item(
+        self, table_name: str, puts: list[tuple[str, list[tuple[str, str]]]]
+    ) -> list[tuple[str, list[tuple[str, str]]]]:
+        """Write up to 25 items in one round trip (put requests only).
+
+        Each entry lands with :meth:`update_item`'s ADD semantics and
+        capacity accounting — batching amortises the *round trips*, not
+        the write units, which DynamoDB charges per item either way.
+        Admission is per item against the provisioned window: entries
+        the current second cannot afford come back as the
+        ``UnprocessedItems`` list (same shape as ``puts``) for the
+        caller to retry after backing off, while admitted entries commit
+        — the honest partial-success contract of the real API. If *every*
+        entry is throttled the call raises
+        :class:`~repro.errors.ProvisionedThroughputExceeded` and meters
+        nothing, exactly like a throttled ``UpdateItem``. Entries
+        repeating a key merge sequentially in call order.
+        """
+        if not puts:
+            raise errors.EmptyBatchRequest("batch_write_item requires put requests")
+        if len(puts) > units.DDB_MAX_BATCH_WRITE_ITEMS:
+            raise errors.TooManyEntriesInBatchRequest(
+                f"{len(puts)} put requests in one call (limit "
+                f"{units.DDB_MAX_BATCH_WRITE_ITEMS})"
+            )
+        table = self._table(table_name)
+        # Validate the whole request before anything commits or meters
+        # (mirrors update_item, which sizes the merged item before the
+        # fault/admission/metering sequence).
+        staged: dict[str, ItemState] = {}
+        for key, adds in puts:
+            if not adds:
+                raise errors.ItemSizeLimitExceeded(
+                    "batch_write_item requires attributes"
+                )
+            state = staged.get(key)
+            if state is None:
+                existing = table.authority.get(key)
+                state = dict(existing) if existing is not None else {}
+            for name, value in adds:
+                merged = set(state.get(name, ()))
+                merged.add(value)
+                state[name] = tuple(sorted(merged))
+            if _item_size(key, state) > units.DDB_MAX_ITEM_SIZE:
+                raise errors.ItemSizeLimitExceeded(
+                    f"item {key!r} would be {_item_size(key, state)} bytes "
+                    f"(limit {units.DDB_MAX_ITEM_SIZE})"
+                )
+            staged[key] = state
+        self._check_faults("BatchWriteItem")
+        unprocessed: list[tuple[str, list[tuple[str, str]]]] = []
+        admitted_units = 0.0
+        admitted_transfer = 0
+        admitted_index_units = 0.0
+        admitted_index_stored = 0
+        for key, adds in puts:
+            existing = table.authority.get(key)
+            state = dict(existing) if existing is not None else {}
+            old_size = _item_size(key, state) if existing is not None else 0
+            for name, value in adds:
+                merged = set(state.get(name, ()))
+                merged.add(value)
+                state[name] = tuple(sorted(merged))
+            new_size = _item_size(key, state)
+            write_units = _write_units_for(max(old_size, new_size))
+            index_writes, shared_units, index_charges = self._index_put_plan(
+                table, key, state
+            )
+            try:
+                self._admit(table, 0.0, write_units + shared_units, index_charges)
+            except errors.ProvisionedThroughputExceeded:
+                unprocessed.append((key, adds))
+                continue
+            admitted_units += write_units
+            admitted_transfer += sum(
+                len(n.encode()) + len(v.encode()) for n, v in adds
+            )
+            self._meter.adjust_stored(billing.DDB, new_size - old_size)
+            table.authority[key] = state
+            table.replicas.write(key, dict(state))
+            if index_writes:
+                admitted_index_units += shared_units + sum(
+                    charge for _, _, charge in index_charges
+                )
+                admitted_index_stored += sum(
+                    delta for _, _, _, delta in index_writes
+                )
+                for index, entry_key, projected, _ in index_writes:
+                    index.replicas.write(entry_key, dict(projected))
+        if len(unprocessed) == len(puts):
+            raise errors.ProvisionedThroughputExceeded(
+                f"write capacity {table.write_capacity} units/s exhausted "
+                f"for every entry in the batch"
+            )
+        self._meter.record_request(billing.DDB, "BatchWriteItem")
+        self._meter.record_capacity(billing.DDB, write_units=admitted_units)
+        self._meter.record_transfer_in(billing.DDB, admitted_transfer)
+        if admitted_index_units:
+            self._meter.record_capacity(
+                billing.DDB_GSI, write_units=admitted_index_units
+            )
+            if admitted_index_stored:
+                self._meter.adjust_stored(billing.DDB_GSI, admitted_index_stored)
+        return unprocessed
+
+    @synchronized
     def delete_item(self, table_name: str, key: str) -> None:
         """Delete an item. Idempotent: deleting an absent item succeeds
         (and still consumes the minimum write unit, as DynamoDB does).

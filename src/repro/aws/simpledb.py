@@ -175,9 +175,72 @@ class SimpleDBService:
         §2.2 documents and §4.3 exploits.
         """
         self._request("PutAttributes")
+        attrs = self._validated_attrs("PutAttributes", attributes)
+        store = self._domain(domain)
+        authority = self._authority[domain]
+        state = self._merged_state(authority.get(item_name, {}), attrs, item_name)
+        old_size = _attr_size(dict(authority.get(item_name, {})))
+        self._meter.record_transfer_in(
+            billing.SDB,
+            sum(len(a.name.encode()) + len(a.value.encode()) for a in attrs),
+        )
+        self._meter.adjust_stored(billing.SDB, _attr_size(state) - old_size)
+        authority[item_name] = state
+        store.write(item_name, dict(state))
+
+    @synchronized
+    def batch_put_attributes(
+        self,
+        domain: str,
+        items: list[tuple[str, list[Attribute | tuple[str, str]]]],
+    ) -> None:
+        """Insert or modify up to 25 items in one round trip.
+
+        Per-item semantics match :meth:`put_attributes` exactly — the
+        same set-merge accumulation, size caps, and idempotent replays —
+        but the whole batch costs one metered request (and roughly one
+        request's machine time; see ``billing.SDB_BOX_USAGE_HOURS``).
+        Every entry is validated against its post-merge state before
+        anything commits, so the call is all-or-nothing: replaying a
+        failed batch cannot half-apply. Entries repeating an item name
+        merge sequentially in call order.
+        """
+        self._request("BatchPutAttributes")
+        if not items:
+            raise errors.EmptyBatchRequest("BatchPutAttributes requires items")
+        if len(items) > units.SDB_MAX_BATCH_PUT_ITEMS:
+            raise errors.NumberSubmittedItemsExceeded(
+                f"{len(items)} items in one call (limit "
+                f"{units.SDB_MAX_BATCH_PUT_ITEMS})"
+            )
+        store = self._domain(domain)
+        authority = self._authority[domain]
+        staged: dict[str, ItemState] = {}
+        transfer = 0
+        for item_name, attributes in items:
+            attrs = self._validated_attrs("BatchPutAttributes", attributes)
+            base = staged.get(item_name)
+            if base is None:
+                base = dict(authority.get(item_name, {}))
+            staged[item_name] = self._merged_state(base, attrs, item_name)
+            transfer += sum(
+                len(a.name.encode()) + len(a.value.encode()) for a in attrs
+            )
+        self._meter.record_transfer_in(billing.SDB, transfer)
+        for item_name, state in staged.items():
+            old_size = _attr_size(dict(authority.get(item_name, {})))
+            self._meter.adjust_stored(billing.SDB, _attr_size(state) - old_size)
+            authority[item_name] = state
+            store.write(item_name, dict(state))
+
+    @staticmethod
+    def _validated_attrs(
+        op: str, attributes: list[Attribute | tuple[str, str]]
+    ) -> list[Attribute]:
+        """Normalise one item's attribute list, enforcing the per-call caps."""
         attrs = [a if isinstance(a, Attribute) else Attribute(*a) for a in attributes]
         if not attrs:
-            raise errors.AttributeValueTooLong("PutAttributes requires attributes")
+            raise errors.AttributeValueTooLong(f"{op} requires attributes")
         if len(attrs) > units.SDB_MAX_ATTRS_PER_CALL:
             raise errors.NumberSubmittedAttributesExceeded(
                 f"{len(attrs)} attributes in one call (limit "
@@ -191,10 +254,14 @@ class SimpleDBService:
                     f"value for {attr.name!r} is {len(attr.value.encode())} bytes "
                     f"(limit {units.SDB_MAX_VALUE_SIZE})"
                 )
-        store = self._domain(domain)
-        authority = self._authority[domain]
-        state: ItemState = dict(authority.get(item_name, {}))
-        old_size = _attr_size(state)
+        return attrs
+
+    @staticmethod
+    def _merged_state(
+        state: ItemState, attrs: list[Attribute], item_name: str
+    ) -> ItemState:
+        """Apply a put's set-merge semantics, enforcing the per-item cap."""
+        state = dict(state)
         replaced: set[str] = set()
         for attr in attrs:
             existing = () if attr.replace and attr.name not in replaced else state.get(attr.name, ())
@@ -208,13 +275,7 @@ class SimpleDBService:
                 f"item {item_name!r} would hold {_attr_count(state)} attributes "
                 f"(limit {units.SDB_MAX_ATTRS_PER_ITEM})"
             )
-        self._meter.record_transfer_in(
-            billing.SDB,
-            sum(len(a.name.encode()) + len(a.value.encode()) for a in attrs),
-        )
-        self._meter.adjust_stored(billing.SDB, _attr_size(state) - old_size)
-        authority[item_name] = state
-        store.write(item_name, dict(state))
+        return state
 
     @synchronized
     def delete_attributes(

@@ -170,6 +170,46 @@ class SQSService:
         self._meter.adjust_stored(billing.SQS, len(encoded))
         return message.message_id
 
+    def send_message_batch(self, url: str, bodies: list[str]) -> list[str]:
+        """Enqueue up to 10 messages in one metered round trip.
+
+        Entries are validated before anything enqueues (all-or-nothing
+        for malformed input), then each body lands exactly as a single
+        :meth:`send_message` would — its own message id, its own random
+        host. Returns the message ids in entry order.
+        """
+        self._request("SendMessageBatch")
+        self._check_batch_entries("SendMessageBatch", bodies)
+        encoded_bodies = []
+        for body in bodies:
+            if not isinstance(body, str):
+                raise errors.InvalidMessageContents(
+                    f"SQS bodies are Unicode text, got {type(body).__name__}"
+                )
+            encoded = body.encode("utf-8")
+            if len(encoded) > units.SQS_MAX_MESSAGE_SIZE:
+                raise errors.MessageTooLong(
+                    f"{len(encoded)} bytes exceeds the "
+                    f"{units.SQS_MAX_MESSAGE_SIZE} byte message limit"
+                )
+            encoded_bodies.append(encoded)
+        queue = self._queue(url)
+        message_ids = []
+        for body in bodies:
+            message = _StoredMessage(
+                message_id=f"msg-{next(self._message_ids):08d}",
+                body=body,
+                enqueued_at=self._clock.now,
+                host=self._rng.randrange(len(queue.hosts)),
+                visible_at=self._clock.now,
+            )
+            queue.hosts[message.host][message.message_id] = message
+            message_ids.append(message.message_id)
+        total = sum(len(encoded) for encoded in encoded_bodies)
+        self._meter.record_transfer_in(billing.SQS, total)
+        self._meter.adjust_stored(billing.SQS, total)
+        return message_ids
+
     def receive_message(
         self,
         url: str,
@@ -233,6 +273,29 @@ class SQSService:
         """
         self._request("DeleteMessage")
         queue = self._queue(url)
+        self._delete_by_handle(queue, receipt_handle)
+
+    def delete_message_batch(self, url: str, receipt_handles: list[str]) -> list[str]:
+        """Delete up to 10 messages in one metered round trip.
+
+        Mirrors the real DeleteMessageBatch partial-success contract:
+        entries succeed or fail independently. A malformed or superseded
+        handle fails its entry; an already-deleted message succeeds,
+        exactly as in :meth:`delete_message`. Returns the failed handles
+        (empty on full success) instead of raising.
+        """
+        self._request("DeleteMessageBatch")
+        self._check_batch_entries("DeleteMessageBatch", receipt_handles)
+        queue = self._queue(url)
+        failed = []
+        for receipt_handle in receipt_handles:
+            try:
+                self._delete_by_handle(queue, receipt_handle)
+            except errors.ReceiptHandleInvalid:
+                failed.append(receipt_handle)
+        return failed
+
+    def _delete_by_handle(self, queue: _Queue, receipt_handle: str) -> None:
         try:
             message_id, serial_text = receipt_handle.rsplit("#", 1)
             serial = int(serial_text)
@@ -319,6 +382,16 @@ class SQSService:
         )
 
     # -- internals -------------------------------------------------------------------
+
+    @staticmethod
+    def _check_batch_entries(op: str, entries: list) -> None:
+        if not entries:
+            raise errors.EmptyBatchRequest(f"{op} requires entries")
+        if len(entries) > units.SQS_MAX_BATCH_ENTRIES:
+            raise errors.TooManyEntriesInBatchRequest(
+                f"{len(entries)} entries in one {op} (limit "
+                f"{units.SQS_MAX_BATCH_ENTRIES})"
+            )
 
     def _sample_hosts(self, n_hosts: int) -> list[int]:
         # Random order as well as random membership: a fixed scan order

@@ -155,7 +155,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
                          seed=args.seed, shards=args.shards,
                          placement=args.backend,
                          concurrency=args.concurrency,
-                         ddb_indexes=args.ddb_indexes)
+                         ddb_indexes=args.ddb_indexes,
+                         write_batch=args.write_batch)
     except ValueError as exc:  # e.g. a malformed --backend/--ddb-indexes spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -266,6 +267,7 @@ def _positive_int(noun: str):
 
 _shard_count = _positive_int("shard count")
 _worker_count = _positive_int("concurrency")
+_batch_width = _positive_int("write batch")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -332,6 +334,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(name,input — what serves Q2/Q3 by index Query instead of "
         "Scan), '' disables; default is the REPRO_DDB_INDEXES "
         "environment spec or no indexes",
+    )
+    demo.add_argument(
+        "--write-batch", type=_batch_width, default=None, metavar="N",
+        help="group-commit width for the provenance write path: the "
+        "client coalescer flushes N items per batched put "
+        "(BatchPutAttributes / BatchWriteItem) and the A3 commit daemon "
+        "applies N transactions per round with batched WAL deletes; "
+        "default 1 (the paper's one-request-per-item path) or the "
+        "REPRO_WRITE_BATCH environment override",
     )
     demo.add_argument(
         "--migrate", default=None, metavar="SPEC",

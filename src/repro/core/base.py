@@ -311,6 +311,56 @@ def put_provenance_item(
         migration.capture_write(item_name, attrs)
 
 
+def put_provenance_items(
+    account: AWSAccount,
+    routing: RouterHandle | ShardRouter,
+    items: Iterable[tuple[str, Iterable[tuple[str, str]]]],
+) -> None:
+    """Store many provenance items through the batch write path.
+
+    The group-commit counterpart of :func:`put_provenance_item`: each
+    item is routed through the *same* write plan it would get alone
+    (shard placement, migration double-writes, and WAL capture are all
+    per-item decisions), then the per-site groups go to each backend's
+    batch API — so a flush of N items to one shard costs one-ish round
+    trips instead of N, while a flush spanning shards, backends, or a
+    migration window degrades gracefully into one batch per site.
+
+    Ordering: primaries land site-by-site in first-appearance order,
+    with items in caller order within each site — the same per-item,
+    per-site order the single-item path produces, which is all the
+    same-object ordering argument needs (one object's versions always
+    hash to one site). Mirror batches run after all primaries, each
+    inside its own scoped meter so the migration's double-write
+    accounting stays attributed per site.
+    """
+    routing = as_handle(routing)
+    migration = routing.migration
+    primaries: dict[tuple[str, str], tuple[Site, list]] = {}
+    mirrors: dict[tuple[str, str], tuple[Site, list]] = {}
+    captures: list[tuple[str, list[tuple[str, str]]]] = []
+    for item_name, attributes in items:
+        attrs = list(attributes)
+        plan = routing.write_plan(item_name)
+        primary, *rest = plan.sites
+        primaries.setdefault(primary.key, (primary, []))[1].append(
+            (item_name, attrs)
+        )
+        for site in rest:
+            mirrors.setdefault(site.key, (site, []))[1].append((item_name, attrs))
+        if plan.capture and migration is not None:
+            captures.append((item_name, attrs))
+    for site, group in primaries.values():
+        backend_for_site(account, site).put_provenance_items(site.domain, group)
+    for site, group in mirrors.values():
+        with account.meter.scoped() as scope:
+            backend_for_site(account, site).put_provenance_items(site.domain, group)
+        if migration is not None:
+            migration.note_double_write(site, scope.usage())
+    for item_name, attrs in captures:
+        migration.capture_write(item_name, attrs)
+
+
 def data_key(name: str) -> str:
     """S3 key holding a file's current data (PASS file ↔ S3 object)."""
     return name

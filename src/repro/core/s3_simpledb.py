@@ -46,8 +46,8 @@ from repro.core.base import (
     _InconsistentRead,
     backend_for_site,
     data_key,
-    put_provenance_item,
 )
+from repro.core.coalesce import WriteCoalescer
 from repro.errors import NoSuchKey, ReadCorrectnessViolation
 from repro.passlib.records import (
     Attr,
@@ -76,10 +76,14 @@ class S3SimpleDB(ProvenanceCloudStore):
         retry: RetryPolicy | None = None,
         shards: int = 1,
         router=None,
+        write_batch: int | None = None,
     ):
         super().__init__(account, faults, retry, shards=shards, router=router)
         self.consistency_retries = 0
         self.orphans_removed = 0
+        #: Group-commit buffer for step 3. ``write_batch=1`` (default)
+        #: bypasses it entirely — byte-identical to the paper's path.
+        self.coalescer = WriteCoalescer(account, self.routing, write_batch)
 
     def _do_provision(self) -> None:
         self._ensure_bucket(DATA_BUCKET)
@@ -103,6 +107,12 @@ class S3SimpleDB(ProvenanceCloudStore):
         for payload in payloads:
             self._put_item(payload)
             faults.check("a2.store.after_put_attributes")
+        # Group commit drains here, *before* the data PUT: coalescing
+        # must not let step 4 overtake step 3, or the orphan window
+        # would widen from "crash between two calls" to "crash with a
+        # full buffer". One event's payloads (file item + transient
+        # process items) still share a batch.
+        self.coalescer.flush()
         faults.check("a2.store.before_data_put")
         # Step 4: ...then data. A crash between these two calls is the
         # atomicity violation of Table 1.
@@ -119,11 +129,11 @@ class S3SimpleDB(ProvenanceCloudStore):
         """PutAttributes in batches of ≤100 attributes (§4.2 step 3).
 
         Each item routes to its owning shard domain; batches never span
-        shards because an item lives wholly on one shard.
+        shards because an item lives wholly on one shard. With
+        ``write_batch>1`` the put is buffered and lands in the pre-data
+        flush as part of a per-shard BatchPutAttributes/BatchWriteItem.
         """
-        put_provenance_item(
-            self.account, self.routing, payload.item_name, payload.attributes
-        )
+        self.coalescer.put(payload.item_name, payload.attributes)
 
     # -- read protocol -------------------------------------------------------------
 

@@ -45,6 +45,7 @@ from repro.core.daemons import CleanerDaemon, CommitDaemon
 from repro.core.s3_simpledb import S3SimpleDB
 from repro.core.wal import build_wal_bundle
 from repro.passlib.records import FlushEvent
+from repro.units import SQS_MAX_BATCH_ENTRIES
 
 
 class S3SimpleDBSQS(S3SimpleDB):
@@ -62,8 +63,12 @@ class S3SimpleDBSQS(S3SimpleDB):
         daemon_faults: FaultPlan = NO_FAULTS,
         shards: int = 1,
         router=None,
+        write_batch: int | None = None,
     ):
-        super().__init__(account, faults, retry, shards=shards, router=router)
+        super().__init__(
+            account, faults, retry, shards=shards, router=router,
+            write_batch=write_batch,
+        )
         self.client_id = client_id
         self.epoch = next(_EPOCHS)
         self.queue_url: str | None = None
@@ -90,6 +95,7 @@ class S3SimpleDBSQS(S3SimpleDB):
                 threshold=self._commit_threshold,
                 faults=self._daemon_faults,
                 router=self.routing,
+                write_batch=self.coalescer.batch_size,
             )
         return self._commit_daemon
 
@@ -109,6 +115,7 @@ class S3SimpleDBSQS(S3SimpleDB):
             threshold=self._commit_threshold,
             faults=faults,
             router=self.routing,
+            write_batch=self.coalescer.batch_size,
         )
         return self._commit_daemon
 
@@ -139,9 +146,28 @@ class S3SimpleDBSQS(S3SimpleDB):
             call_with_retries(self.account.s3.put, DATA_BUCKET, key, content)
             faults.check("a3.log.after_temp_put")
         # 1(c)-1(d): the pointer record, provenance chunks, md5 record.
-        for body in bundle.messages[1:-1]:
-            call_with_retries(self.account.sqs.send_message, self.queue_url, body)
-            faults.check("a3.log.after_record")
+        # With write_batch > 1 the middle records travel in
+        # SendMessageBatch calls (≤10 entries): a crash between calls
+        # loses at most one unsent chunk — exactly the exposure of a
+        # crash in the per-message loop, since an uncommitted
+        # transaction is invisible to the daemon either way. The begin
+        # and commit records stay single sends: begin precedes the temp
+        # puts, and commit alone seals the transaction.
+        middle = bundle.messages[1:-1]
+        batch = self.coalescer.batch_size
+        if batch > 1 and middle:
+            chunk = min(batch, SQS_MAX_BATCH_ENTRIES)
+            for start in range(0, len(middle), chunk):
+                call_with_retries(
+                    self.account.sqs.send_message_batch,
+                    self.queue_url,
+                    middle[start : start + chunk],
+                )
+                faults.check("a3.log.after_record")
+        else:
+            for body in middle:
+                call_with_retries(self.account.sqs.send_message, self.queue_url, body)
+                faults.check("a3.log.after_record")
         # 1(e): the commit record seals the transaction.
         faults.check("a3.log.before_commit")
         call_with_retries(

@@ -88,6 +88,12 @@ class NumberSubmittedAttributesExceeded(AWSError):
     code = "NumberSubmittedAttributesExceeded"
 
 
+class NumberSubmittedItemsExceeded(AWSError):
+    """A BatchPutAttributes call supplied more than 25 items."""
+
+    code = "NumberSubmittedItemsExceeded"
+
+
 class AttributeValueTooLong(AWSError):
     """A SimpleDB attribute name or value exceeded 1 KB."""
 
@@ -166,6 +172,19 @@ class ReceiptHandleInvalid(AWSError):
     """An SQS DeleteMessage used an expired or unknown receipt handle."""
 
     code = "ReceiptHandleIsInvalid"
+
+
+class TooManyEntriesInBatchRequest(AWSError):
+    """A batch request exceeded the service's per-call entry cap (10 for
+    SQS Send/DeleteMessageBatch, 25 for DynamoDB-style BatchWriteItem)."""
+
+    code = "AWS.SimpleQueueService.TooManyEntriesInBatchRequest"
+
+
+class EmptyBatchRequest(AWSError):
+    """A batch request carried no entries."""
+
+    code = "AWS.SimpleQueueService.EmptyBatchRequest"
 
 
 class ServiceUnavailable(AWSError):

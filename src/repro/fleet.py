@@ -67,11 +67,14 @@ class ClientFleet:
         placement: str | dict[int, str] | None = None,
         concurrency: int | None = None,
         ddb_indexes: str | tuple | None = None,
+        write_batch: int | None = None,
     ):
         """``ddb_indexes`` declares GSIs on DynamoDB-placed provenance
         shards (spec string like ``"name,input"``; default the
         ``REPRO_DDB_INDEXES`` environment spec) — shared by the whole
-        fleet, like the shard layout itself."""
+        fleet, like the shard layout itself. ``write_batch`` sets every
+        client's write-coalescer/group-commit width (default 1, or the
+        ``REPRO_WRITE_BATCH`` environment override)."""
         if architecture not in _FACTORIES:
             raise ValueError(f"unknown architecture {architecture!r}")
         self.architecture = architecture
@@ -93,6 +96,8 @@ class ClientFleet:
         #: Worker-pool width for shared query engines (None → sequential
         #: or the ``REPRO_QUERY_CONCURRENCY`` environment override).
         self.concurrency = concurrency
+        #: Write-coalescer / daemon group-commit width per client.
+        self.write_batch = write_batch
         self.clients: dict[str, FleetClient] = {}
         for index in range(n_clients):
             self._spawn(f"client-{index}")
@@ -104,6 +109,8 @@ class ClientFleet:
             attempts=12, wait=lambda: self.account.clock.advance(0.5)
         )
         kwargs = {"router": self.routing}
+        if self.architecture != "s3":
+            kwargs["write_batch"] = self.write_batch
         if self.architecture == "s3+simpledb+sqs":
             kwargs["client_id"] = name
         store = _FACTORIES[self.architecture](

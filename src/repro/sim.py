@@ -58,6 +58,7 @@ class Simulation:
         placement: str | dict[int, str] | None = None,
         concurrency: int | None = None,
         ddb_indexes: str | tuple | None = None,
+        write_batch: int | None = None,
         **architecture_kwargs,
     ):
         """``shards``/``placement`` pick the provenance layout: N stores
@@ -69,7 +70,10 @@ class Simulation:
         DynamoDB-placed shards (``"name,input"``, ``"auto"``, ``""`` for
         none — default the ``REPRO_DDB_INDEXES`` environment spec), so
         Q2/Q3 phases on those shards are index Queries instead of
-        Scans."""
+        Scans. ``write_batch`` sets the client coalescer's and commit
+        daemon's group-commit width (default 1 — the paper's
+        one-request-per-item path — or the ``REPRO_WRITE_BATCH``
+        environment override)."""
         if architecture not in _FACTORIES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -90,6 +94,10 @@ class Simulation:
             architecture_kwargs["router"] = ShardRouter(shards, placement=placement)
         elif shards != 1 or placement is not None:
             raise ValueError("pass shards=N/placement=... or router=..., not both")
+        if architecture != "s3":
+            architecture_kwargs.setdefault("write_batch", write_batch)
+        elif write_batch is not None:
+            raise ValueError("the s3 architecture has no provenance write path to batch")
         self.store: ProvenanceCloudStore = _FACTORIES[architecture](
             self.account, faults=faults, retry=retry, **architecture_kwargs
         )

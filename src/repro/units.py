@@ -28,6 +28,9 @@ SDB_MAX_ATTRS_PER_CALL = 100
 #: the reason provenance costs noticeably more space in SimpleDB format
 #: than as raw S3 metadata (paper Table 2: 121.8 MB → 177.9 MB).
 SDB_BILLABLE_OVERHEAD_PER_ELEMENT = 45
+#: BatchPutAttributes accepts up to 25 items per call (each item still
+#: bounded by the per-call attribute cap above).
+SDB_MAX_BATCH_PUT_ITEMS = 25
 
 #: DynamoDB-style limits (the heterogeneous-backend extension; these are
 #: the classic DynamoDB numbers, anachronistic next to the 2009 services
@@ -51,10 +54,15 @@ DDB_PAGE_BYTES = 16 * KB
 #: Per-entry storage/write overhead of a global secondary index (key
 #: duplication plus index bookkeeping — DynamoDB documents ~100 bytes).
 DDB_INDEX_ENTRY_OVERHEAD = 100
+#: BatchWriteItem accepts up to 25 put requests per call; items the
+#: provisioned window cannot admit come back as ``UnprocessedItems``.
+DDB_MAX_BATCH_WRITE_ITEMS = 25
 
 #: SQS limits (paper §2.3).
 SQS_MAX_MESSAGE_SIZE = 8 * KB
 SQS_MAX_RECEIVE_BATCH = 10
+#: SendMessageBatch / DeleteMessageBatch accept up to 10 entries per call.
+SQS_MAX_BATCH_ENTRIES = 10
 SQS_RETENTION_SECONDS = 4 * 24 * 3600  # messages older than 4 days vanish
 
 SECONDS_PER_DAY = 24 * 3600
