@@ -10,6 +10,10 @@
 #                     benchmarks/baselines.json (rebaseline with
 #                     `PYTHONPATH=src python benchmarks/check_baselines.py --write`)
 #   make lint         ruff check over src/tests/benchmarks (config: ruff.toml)
+#   make lint-prov    provlint — the project's AST invariant checker
+#                     (lock discipline, metering/billing coverage,
+#                     determinism, ':v' wire-format ownership, router
+#                     handles); stdlib-only, no install needed
 #
 # Knobs the suite honours (also exercised by the CI matrix):
 #   REPRO_QUERY_CONCURRENCY=N    scatter-gather worker-pool width
@@ -52,6 +56,17 @@
 #                                fleet; `make test-migration` runs just the
 #                                live-migration suites (what the CI
 #                                live-migration job executes)
+#   REPRO_SANITIZE=1             opt-in runtime sanitizer: new_lock() hands
+#                                out order-recording lock shims that check
+#                                the documented service -> meter -> leaf
+#                                partial order per thread, and the Meter
+#                                flags spend landing inside a query with no
+#                                active Meter.scoped context (leaks from
+#                                per-shard accounting). Violations are
+#                                recorded, not raised; the test conftest
+#                                fails the test that grew the registry. Off
+#                                (default) = byte-identical to the plain
+#                                build. CI runs one matrix pass with it on.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
@@ -70,7 +85,7 @@ MIGRATION_TEST_FILES = tests/unit/test_migration_handle.py \
 	tests/properties/test_prop_migration.py \
 	tests/integration/test_fleet_live_migration.py
 
-.PHONY: test test-fast test-migration bench bench-smoke bench-check lint
+.PHONY: test test-fast test-migration bench bench-smoke bench-check lint lint-prov
 
 test:
 	HYPOTHESIS_PROFILE=ci $(PYTEST) -x -q
@@ -92,3 +107,6 @@ bench-check:
 
 lint:
 	ruff check src tests benchmarks
+
+lint-prov:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.provlint src tests benchmarks

@@ -43,6 +43,7 @@ from typing import Iterator
 
 from repro.clock import SimClock
 from repro.concurrency import new_lock, synchronized
+from repro.devtools import sanitize
 from repro.units import GB, SECONDS_PER_MONTH
 
 # Service identifiers used as meter keys.
@@ -299,7 +300,7 @@ class Meter:
         self._byte_seconds: dict[str, float] = {}
         self._last_update: dict[str, float] = {}
         self._box_usage_hours = 0.0
-        self._lock = new_lock()
+        self._lock = new_lock("meter", name="meter")
         self._scope_local = threading.local()
 
     # -- scoped accounting -----------------------------------------------
@@ -326,10 +327,47 @@ class Meter:
         finally:
             stack.pop()
 
+    @contextmanager
+    def expect_scope(self) -> Iterator[None]:
+        """Declare that this thread's records should be scope-attributed.
+
+        The sharded query engine brackets each measured query (and each
+        per-shard stream task) with this marker. Under ``REPRO_SANITIZE=1``
+        any record landing on a marked thread with *no* active
+        :meth:`scoped` context is reported as an unattributed-spend leak
+        — spend that would silently vanish from ``per_shard`` totals.
+        With the sanitizer off this is an inert no-op: no state is
+        touched and the meter is byte-identical to the unsanitized
+        build.
+        """
+        if not sanitize.enabled():
+            yield
+            return
+        local = self._scope_local
+        local.expect = getattr(local, "expect", 0) + 1
+        try:
+            yield
+        finally:
+            local.expect -= 1
+
+    def _flag_unattributed(self, what: str) -> None:
+        """Record an unattributed-spend leak (sanitizer only; see
+        :meth:`expect_scope`). Called with the meter lock held; the
+        expectation marker and scope stack are both thread-local."""
+        if not sanitize.enabled():
+            return
+        if getattr(self._scope_local, "expect", 0) and not self._scope_stack():
+            sanitize.record(
+                "unattributed-spend",
+                f"{what} recorded during a query with no active Meter.scoped "
+                "context — this spend is missing from per-shard accounting",
+            )
+
     # -- recording -------------------------------------------------------
 
     @synchronized
     def record_request(self, service: str, op: str, count: int = 1) -> None:
+        self._flag_unattributed(f"request {service}/{op}")
         self._requests[(service, op)] += count
         box_hours = 0.0
         if service == SDB:
@@ -342,6 +380,7 @@ class Meter:
     @synchronized
     def record_transfer_in(self, service: str, nbytes: int) -> None:
         if nbytes:
+            self._flag_unattributed(f"transfer-in {service}")
             self._bytes_in[service] += nbytes
             for scope in self._scope_stack():
                 scope._bytes_in[service] += nbytes
@@ -349,6 +388,7 @@ class Meter:
     @synchronized
     def record_transfer_out(self, service: str, nbytes: int) -> None:
         if nbytes:
+            self._flag_unattributed(f"transfer-out {service}")
             self._bytes_out[service] += nbytes
             for scope in self._scope_stack():
                 scope._bytes_out[service] += nbytes
@@ -358,6 +398,8 @@ class Meter:
         self, service: str, read_units: float = 0.0, write_units: float = 0.0
     ) -> None:
         """Record consumed capacity units (DynamoDB-style metering)."""
+        if read_units or write_units:
+            self._flag_unattributed(f"capacity {service}")
         if read_units:
             self._read_units[service] += read_units
         if write_units:
@@ -369,6 +411,7 @@ class Meter:
     @synchronized
     def record_box_usage(self, hours: float) -> None:
         """Add explicit SimpleDB machine time (e.g. for expensive scans)."""
+        self._flag_unattributed("box-usage")
         self._box_usage_hours += hours
         for scope in self._scope_stack():
             scope._box_usage_hours += hours

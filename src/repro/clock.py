@@ -37,7 +37,10 @@ class SimClock:
         self._now = float(epoch)
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
-        self._lock = new_lock()
+        # Leaf in the documented lock order: nothing may be acquired
+        # while the event-heap lock is held (callbacks fired by
+        # advance_to mutate replica dicts directly, lock-free).
+        self._lock = new_lock("leaf", name="simclock")
 
     @property
     def now(self) -> float:

@@ -20,6 +20,18 @@ Lock ordering: service lock → meter lock → (no further locks). The
 clock's event-heap lock is leaf-level too; ``SimClock.now`` is read
 without a lock (a CPython float load is atomic) so meter integration
 never takes the clock lock while holding the meter lock.
+
+This discipline is machine-enforced, not just documented:
+
+* statically by ``provlint`` rule **PL001** (``python -m
+  repro.devtools.provlint src/``) — synchronized classes must mint
+  ``self._lock`` here via :func:`new_lock`, public mutators of metered
+  ``repro.aws`` service classes must be decorated, and raw
+  ``threading`` lock constructions are confined to this module;
+* at runtime by the ``REPRO_SANITIZE=1`` sanitizer
+  (:mod:`repro.devtools.sanitize`) — :func:`new_lock` then returns an
+  order-recording shim that asserts the partial order above on every
+  acquisition, per thread, across the whole concurrent suite.
 """
 
 from __future__ import annotations
@@ -28,15 +40,18 @@ import functools
 import threading
 from typing import Callable, TypeVar
 
+from repro.devtools import sanitize
+
 F = TypeVar("F", bound=Callable)
 
 
 def synchronized(method: F) -> F:
     """Serialise a method behind its instance's ``_lock`` (an RLock).
 
-    The decorated class must create ``self._lock = threading.RLock()``
-    in ``__init__`` before any decorated method runs. Re-entrant so a
-    public method may call another public method of the same object.
+    The decorated class must create ``self._lock`` via :func:`new_lock`
+    in ``__init__`` before any decorated method runs (provlint PL001
+    checks this). Re-entrant so a public method may call another public
+    method of the same object.
     """
 
     @functools.wraps(method)
@@ -47,7 +62,22 @@ def synchronized(method: F) -> F:
     return wrapper  # type: ignore[return-value]
 
 
-def new_lock() -> threading.RLock:
+def new_lock(order: str = "service", name: str | None = None):
     """A fresh re-entrant lock (kept here so services avoid importing
-    ``threading`` just for one constructor)."""
+    ``threading`` just for one constructor).
+
+    ``order`` names the lock's class in the documented partial order —
+    ``"service"`` (default), ``"meter"``, or ``"leaf"`` (the clock's
+    event heap). It is ignored in normal runs; under ``REPRO_SANITIZE=1``
+    the returned shim records per-thread acquisition order and flags any
+    inversion of service → meter → leaf. ``name`` labels the lock in
+    sanitizer reports.
+    """
+    if sanitize.enabled():
+        return sanitize.OrderedLock(order, name=name)
+    if order not in sanitize.LOCK_RANKS:
+        raise ValueError(
+            f"unknown lock order {order!r}; expected one of "
+            f"{sorted(sanitize.LOCK_RANKS)}"
+        )
     return threading.RLock()

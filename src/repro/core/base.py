@@ -58,7 +58,7 @@ from repro.errors import (
     ReadCorrectnessViolation,
     ServiceUnavailable,
 )
-from repro.migration.handle import RouterHandle, Site, as_handle
+from repro.migration.handle import RouterHandle, Site, as_handle, fresh_handle
 from repro.passlib.records import FlushEvent, ObjectRef, ProvenanceBundle
 from repro.sharding import DEFAULT_BASE_DOMAIN, ShardRouter
 
@@ -180,7 +180,7 @@ class ProvenanceCloudStore:
         #: :class:`RouterHandle` (what :class:`~repro.fleet.ClientFleet`
         #: does) makes every consumer observe the same epoch — and the
         #: same live migration — simultaneously.
-        self.routing = as_handle(router if router is not None else ShardRouter(shards))
+        self.routing = as_handle(router) if router is not None else fresh_handle(shards)
         self.stores_completed = 0
         self._provisioned = False
 

@@ -44,7 +44,7 @@ from repro.core.base import (
 from repro.core.coalesce import resolve_write_batch
 from repro.core.wal import AssembledTransaction, TransactionAssembler
 from repro.errors import NoSuchKey, ReceiptHandleInvalid
-from repro.migration.handle import RouterHandle, as_handle
+from repro.migration.handle import RouterHandle, as_handle, fresh_handle
 from repro.passlib.records import ObjectRef
 from repro.sharding import ShardRouter
 from repro.units import (
@@ -106,7 +106,7 @@ class CommitDaemon:
         #: lands on the layout that is authoritative *at apply time*.
         #: The default single-shard router reproduces the paper's
         #: one-domain layout.
-        self.routing = as_handle(router if router is not None else ShardRouter(1))
+        self.routing = as_handle(router) if router is not None else fresh_handle()
         self.threshold = threshold
         self.receive_batch = receive_batch
         self.max_rounds = max_rounds

@@ -45,7 +45,7 @@ from repro.errors import ClientCrash, ReadCorrectnessViolation
 from repro.passlib.capture import PassSystem
 from repro.passlib.records import FlushEvent, ObjectRef
 from repro.query.ancestry import AncestryWalker
-from repro.sharding import ShardRouter
+from repro.migration.handle import fresh_handle
 
 #: The paper's Table 1, as (atomicity, consistency, causal, query).
 PAPER_TABLE1 = {
@@ -118,7 +118,7 @@ def _build(
         account,
         faults=faults or FaultPlan(),
         retry=retry,
-        router=ShardRouter(1, placement="sdb"),
+        router=fresh_handle(placement="sdb"),
     )
     return account, store
 

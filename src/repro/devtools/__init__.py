@@ -1,0 +1,37 @@
+"""Project-specific developer tooling: static checks + runtime sanitizers.
+
+Two halves, one purpose — the invariants this codebase leans on (lock
+ordering, metering coverage, simulated determinism, serializer and
+router-handle discipline) are enforced by machines instead of reviewer
+memory:
+
+* :mod:`repro.devtools.provlint` — an AST-based static analysis pass
+  (``python -m repro.devtools.provlint src/``) with five checkers,
+  PL001..PL005. Run by ``make lint-prov`` and the CI ``lint-prov`` job.
+* :mod:`repro.devtools.sanitize` — the opt-in runtime sanitizer
+  (``REPRO_SANITIZE=1``): :func:`repro.concurrency.new_lock` hands out
+  order-recording lock shims that assert the documented lock partial
+  order per thread, and the :class:`~repro.aws.billing.Meter` flags
+  spend recorded during a query with no active ``Meter.scoped``
+  context. With the variable unset both are inert and the meter is
+  byte-identical to the unsanitized build.
+
+Neither module imports the simulation layers above it, so the tooling
+can never perturb what it checks.
+"""
+
+from repro.devtools.sanitize import (
+    SANITIZE_ENV,
+    Violation,
+    enabled,
+    reset,
+    violations,
+)
+
+__all__ = [
+    "SANITIZE_ENV",
+    "Violation",
+    "enabled",
+    "reset",
+    "violations",
+]

@@ -1,0 +1,726 @@
+"""provlint — the project's AST invariant checker.
+
+Usage::
+
+    python -m repro.devtools.provlint src/            # or src tests benchmarks
+    python -m repro.devtools.provlint --json src/     # machine-readable
+
+Five checkers enforce the disciplines the codebase documents but Python
+cannot express (exit status 1 when any fires):
+
+* **PL001 lock discipline** — a class with ``@synchronized`` methods
+  must create ``self._lock`` via :func:`repro.concurrency.new_lock` in
+  ``__init__``; every public mutator method of a *service class* in
+  ``repro.aws`` (a class assigning ``self._meter`` in ``__init__``)
+  must be ``@synchronized``; raw ``threading.Lock()``/``RLock()``
+  constructions are confined to ``repro/concurrency.py``.
+* **PL002 metering/billing coverage** — every service key a ``Meter``
+  call records must have a matching ``PriceBook.cost`` line and every
+  price line must belong to a metered key (no "metered but unpriced"
+  spend, no dead price lines); ``self._meter`` may only be touched from
+  synchronized service methods, private helpers running under the
+  caller's lock, or ``Meter.scoped`` contexts.
+* **PL003 determinism** — no wall-clock (``time.time()``,
+  ``datetime.now()``, …) and no module-level ``random.*`` draws in
+  library code; simulation time comes from ``SimClock`` and randomness
+  from seeded ``random.Random(seed)`` constructions
+  (``make_rng_family``).
+* **PL004 serializer discipline** — no manual ``":v"`` key surgery
+  (splitting on it or f-string-building around it) outside the wire
+  codec in ``repro.passlib`` — the exact bug class behind the PR 6
+  ``rsplit(":v")`` COPY-destination corruption.
+* **PL005 router-handle discipline** — no ``ShardRouter(...)``
+  construction and no ``.router`` attribute writes outside
+  ``repro.sharding``/``repro.migration``; consumers obtain routing via
+  :func:`repro.migration.handle.fresh_handle` / ``as_handle`` and hold
+  a ``RouterHandle``.
+
+Scope: PL001's service-mutator check, PL002, PL003, and PL005 apply to
+library code (paths under a ``repro`` package that are not tests or
+benchmarks); PL001's raw-lock check and PL004 apply to every scanned
+file — hand-rolled key parsing in a test corrupts oracles just as
+surely. Directory walks skip any directory containing a
+``.provlint-ignore`` marker file (the known-bad lint fixtures live in
+one); explicitly named files are always checked.
+
+The allowlist below is deliberately tiny and every entry carries its
+justification inline. Extend it only for code that *is* the mechanism a
+rule protects (a new lock factory, a new wire codec) — never to mute a
+violation in consumer code; fix the consumer instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Marker file: a directory containing one is skipped by directory
+#: walks (explicit file arguments are still checked).
+IGNORE_MARKER = ".provlint-ignore"
+
+#: The versioned-reference wire marker PL004 polices. Kept in one
+#: constant (and interpolated into diagnostics) so provlint's own
+#: messages do not trip PL004's f-string check.
+VREF_MARKER = ":v"
+
+#: Meter recording methods whose first argument is a billing service key.
+METER_KEYED_OPS = frozenset(
+    {
+        "record_request",
+        "record_transfer_in",
+        "record_transfer_out",
+        "record_capacity",
+        "adjust_stored",
+    }
+)
+
+#: Wall-clock call sites PL003 rejects (module attribute -> callables).
+WALL_CLOCK_CALLS = {
+    "time": frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns", "sleep"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+#: Decorators that exempt a public service method from the
+#: ``@synchronized`` requirement: read-only descriptors and
+#: class/static methods hold no per-instance mutable state. A
+#: ``@x.setter`` is *not* exempt — setters mutate.
+EXEMPT_DECORATORS = frozenset({"property", "cached_property", "classmethod", "staticmethod"})
+
+# --------------------------------------------------------------------------
+# The allowlist. Keep it tiny; every entry is a mechanism, not a consumer.
+# --------------------------------------------------------------------------
+
+ALLOWLIST: dict[str, dict[str, str]] = {
+    "PL001": {
+        # The one factory allowed to mint raw locks — everything else
+        # calls new_lock() so the sanitizer can interpose.
+        "repro/concurrency.py": "new_lock() is the project's only lock factory",
+        # The sanitizer shim wraps the raw RLock it instruments; routing
+        # it through new_lock() would recurse.
+        "repro/devtools/sanitize.py": "OrderedLock wraps the raw lock it instruments",
+    },
+    "PL004": {
+        # ObjectRef.encode()/decode() *are* the ':v' wire format; the
+        # serializer builds on them. Everyone else must call them.
+        "repro/passlib/records.py": "ObjectRef is the ':v' wire codec itself",
+        "repro/passlib/serializer.py": "the serializer owns the wire format",
+    },
+}
+
+
+def _allowed(rule: str, path: Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in ALLOWLIST.get(rule, ()))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message} [fix: {self.hint}]"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def is_library(path: Path) -> bool:
+    """Library code: inside a ``repro`` package, not tests/benchmarks."""
+    parts = path.as_posix().split("/")
+    return "repro" in parts and "tests" not in parts and "benchmarks" not in parts
+
+
+def _decorator_names(node: ast.FunctionDef) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _self_attr(node: ast.AST, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _assigns_self_attr(fn: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+            if _self_attr(node, attr):
+                return True
+    return False
+
+
+def _init_of(cls: ast.ClassDef) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            return node
+    return None
+
+
+def _creates_lock_via_new_lock(init: ast.FunctionDef) -> bool:
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(_self_attr(t, "_lock") for t in node.targets):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name == "new_lock":
+                return True
+    return False
+
+
+class _ModuleImports:
+    """Which bare names in a module refer to stdlib clock/random/thread modules."""
+
+    def __init__(self, tree: ast.Module):
+        self.modules: dict[str, str] = {}   # local name -> module name
+        self.from_names: dict[str, str] = {}  # local name -> "module.attr"
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+
+# --------------------------------------------------------------------------
+# Per-file checker
+# --------------------------------------------------------------------------
+
+
+class FileChecker(ast.NodeVisitor):
+    """Runs every per-file rule over one parsed module."""
+
+    def __init__(self, path: Path, tree: ast.Module, repo_data: "RepoData"):
+        self.path = path
+        self.tree = tree
+        self.library = is_library(path)
+        self.imports = _ModuleImports(tree)
+        self.findings: list[Finding] = []
+        self.repo = repo_data
+        self._class_stack: list[ast.ClassDef] = []
+        self._function_stack: list[ast.FunctionDef] = []
+        self._with_scoped_depth = 0
+
+    def flag(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
+        if _allowed(rule, self.path):
+            return
+        self.findings.append(
+            Finding(
+                path=self.path.as_posix(),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        self.visit(self.tree)
+        return self.findings
+
+    # -- structure tracking ------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node)
+        self._check_pl001_class(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        scoped = any(
+            isinstance(item.context_expr, ast.Call)
+            and isinstance(item.context_expr.func, ast.Attribute)
+            and item.context_expr.func.attr == "scoped"
+            for item in node.items
+        )
+        if scoped:
+            self._with_scoped_depth += 1
+        self.generic_visit(node)
+        if scoped:
+            self._with_scoped_depth -= 1
+
+    # -- PL001: lock discipline --------------------------------------------
+
+    def _check_pl001_class(self, cls: ast.ClassDef) -> None:
+        init = _init_of(cls)
+        methods = [n for n in cls.body if isinstance(n, ast.FunctionDef)]
+        synchronized = [m for m in methods if "synchronized" in _decorator_names(m)]
+        if synchronized and (init is None or not _creates_lock_via_new_lock(init)):
+            self.flag(
+                "PL001",
+                cls,
+                f"class {cls.name} has @synchronized methods but __init__ does "
+                "not create self._lock via new_lock()",
+                "add `self._lock = new_lock()` to __init__ before any "
+                "synchronized method can run",
+            )
+        if not self.library or "repro/aws/" not in self.path.as_posix():
+            return
+        is_service = init is not None and _assigns_self_attr(init, "_meter")
+        if not is_service:
+            return
+        for method in methods:
+            if method.name.startswith("_"):
+                continue
+            decorators = _decorator_names(method)
+            if "synchronized" in decorators:
+                continue
+            if decorators & EXEMPT_DECORATORS and "setter" not in decorators:
+                continue
+            self.flag(
+                "PL001",
+                method,
+                f"public method {cls.name}.{method.name} of a metered service "
+                "class is not @synchronized",
+                "decorate it with @synchronized (service state and the meter "
+                "must mutate atomically), or rename it _private if it is a "
+                "helper that only runs under a synchronized caller's lock",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_raw_lock(node)
+        self._check_pl003(node)
+        self._check_pl004_split(node)
+        self._check_pl005_construction(node)
+        self._collect_meter_keys(node)
+        self.generic_visit(node)
+
+    def _check_raw_lock(self, node: ast.Call) -> None:
+        func = node.func
+        lock_names = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+        if isinstance(func, ast.Attribute) and func.attr in lock_names:
+            if (
+                isinstance(func.value, ast.Name)
+                and self.imports.modules.get(func.value.id) == "threading"
+            ):
+                self.flag(
+                    "PL001",
+                    node,
+                    f"raw threading.{func.attr}() construction outside "
+                    "repro.concurrency",
+                    "use repro.concurrency.new_lock(order=...) so the "
+                    "REPRO_SANITIZE lock-order shim can interpose",
+                )
+        elif isinstance(func, ast.Name):
+            origin = self.imports.from_names.get(func.id, "")
+            if origin in {f"threading.{name}" for name in lock_names}:
+                self.flag(
+                    "PL001",
+                    node,
+                    f"raw {origin}() construction outside repro.concurrency",
+                    "use repro.concurrency.new_lock(order=...) so the "
+                    "REPRO_SANITIZE lock-order shim can interpose",
+                )
+
+    # -- PL002: metering/billing coverage ----------------------------------
+
+    def _collect_meter_keys(self, node: ast.Call) -> None:
+        """Record (service key, site) for the repo-level price-book check."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in METER_KEYED_OPS):
+            return
+        if not node.args:
+            return
+        key = node.args[0]
+        resolved: str | None = None
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            resolved = key.value
+        elif isinstance(key, ast.Attribute) and isinstance(key.value, ast.Name):
+            # billing.S3 style — resolved against billing.py's constants.
+            resolved = f"${key.attr}"
+        elif isinstance(key, ast.Name):
+            origin = self.imports.from_names.get(key.id, "")
+            if origin.startswith("repro.aws.billing."):
+                resolved = f"${origin.rsplit('.', 1)[1]}"
+        if resolved is not None and self.library:
+            self.repo.metered_keys.append(
+                (resolved, self.path.as_posix(), node.lineno)
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._check_pl002_meter_touch(node)
+        self._check_pl005_router_write(node)
+        self.generic_visit(node)
+
+    def _check_pl002_meter_touch(self, node: ast.Attribute) -> None:
+        if not self.library or not _self_attr(node, "_meter"):
+            return
+        if not self._function_stack:
+            return
+        fn = self._function_stack[-1]
+        if fn.name == "__init__" or fn.name.startswith("_"):
+            # __init__ wires the reference; private helpers run under
+            # the public caller's (synchronized) lock — PL001 enforces
+            # that every public path into them is decorated.
+            return
+        if "synchronized" in _decorator_names(fn):
+            return
+        if self._with_scoped_depth:
+            return
+        self.flag(
+            "PL002",
+            node,
+            f"self._meter touched in unsynchronized public method {fn.name}",
+            "decorate the method with @synchronized or record inside a "
+            "Meter.scoped context",
+        )
+
+    # -- PL003: determinism -------------------------------------------------
+
+    def _check_pl003(self, node: ast.Call) -> None:
+        if not self.library:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            module = self.imports.modules.get(owner)
+            if module in ("time",) and func.attr in WALL_CLOCK_CALLS["time"]:
+                self.flag(
+                    "PL003",
+                    node,
+                    f"wall-clock call {owner}.{func.attr}() in simulation code",
+                    "read simulated time from the world's SimClock instead",
+                )
+                return
+            if (
+                owner in ("datetime", "date")
+                and func.attr in WALL_CLOCK_CALLS.get(owner, ())
+                and (
+                    module == "datetime"
+                    or self.imports.from_names.get(owner, "").startswith("datetime.")
+                )
+            ):
+                self.flag(
+                    "PL003",
+                    node,
+                    f"wall-clock call {owner}.{func.attr}() in simulation code",
+                    "read simulated time from the world's SimClock instead",
+                )
+                return
+            if module == "random":
+                if func.attr == "Random" and node.args:
+                    return  # seeded constructor — the rng-family idiom
+                what = (
+                    "unseeded random.Random()"
+                    if func.attr == "Random"
+                    else f"module-level random.{func.attr}()"
+                )
+                self.flag(
+                    "PL003",
+                    node,
+                    f"{what} draws from global, unseeded state",
+                    "derive a stream from make_rng_family(seed) or construct "
+                    "random.Random(seed) with an explicit seed",
+                )
+
+    # -- PL004: serializer discipline ---------------------------------------
+
+    def _check_pl004_split(self, node: ast.Call) -> None:
+        func = node.func
+        surgery = {"split", "rsplit", "partition", "rpartition", "startswith", "endswith"}
+        if not (isinstance(func, ast.Attribute) and func.attr in surgery):
+            return
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and VREF_MARKER in arg.value
+            ):
+                self.flag(
+                    "PL004",
+                    node,
+                    f"manual {VREF_MARKER!r} key surgery via "
+                    f".{func.attr}({arg.value!r})",
+                    "use ObjectRef.encode()/decode() (repro.passlib) — ad-hoc "
+                    "parsing corrupts pathological names (the PR 6 COPY bug)",
+                )
+                return
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        has_format = any(isinstance(v, ast.FormattedValue) for v in node.values)
+        builds_ref = any(
+            isinstance(v, ast.Constant)
+            and isinstance(v.value, str)
+            and VREF_MARKER in v.value
+            for v in node.values
+        )
+        if has_format and builds_ref:
+            self.flag(
+                "PL004",
+                node,
+                f"f-string hand-builds a {VREF_MARKER!r} versioned reference",
+                "use ObjectRef.encode() (repro.passlib) so the wire format "
+                "stays in one place",
+            )
+        self.generic_visit(node)
+
+    # -- PL005: router-handle discipline -------------------------------------
+
+    def _routing_layer(self) -> bool:
+        posix = self.path.as_posix()
+        return "repro/sharding" in posix or "repro/migration/" in posix
+
+    def _check_pl005_construction(self, node: ast.Call) -> None:
+        if not self.library or self._routing_layer():
+            return
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "ShardRouter":
+            self.flag(
+                "PL005",
+                node,
+                "bare ShardRouter construction outside the routing layer",
+                "obtain routing via repro.migration.handle.fresh_handle(...) "
+                "(or as_handle) and hold the RouterHandle",
+            )
+
+    def _check_pl005_router_write(self, node: ast.Attribute) -> None:
+        if not self.library or self._routing_layer():
+            return
+        if node.attr == "router" and isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.flag(
+                "PL005",
+                node,
+                "write to a .router attribute outside the routing layer",
+                "route layout changes through RouterHandle.swap()/the "
+                "LiveMigration state machine instead of swapping routers",
+            )
+
+
+# --------------------------------------------------------------------------
+# Repo-level PL002 cross-check (meter keys <-> price book)
+# --------------------------------------------------------------------------
+
+
+class RepoData:
+    """Facts gathered across files for repo-level checks."""
+
+    def __init__(self) -> None:
+        #: (key, path, line); keys starting with "$" name billing constants.
+        self.metered_keys: list[tuple[str, str, int]] = []
+        self.billing_constants: dict[str, str] = {}
+        #: (label, line) price lines found in PriceBook.cost.
+        self.price_lines: list[tuple[str, int]] = []
+        self.billing_path: Path | None = None
+
+    def harvest_billing(self, path: Path, tree: ast.Module) -> None:
+        self.billing_path = path
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    self.billing_constants[target.id] = node.value.value
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.FunctionDef) and node.name == "cost"):
+                continue
+            for call in ast.walk(node):
+                if not (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "append"
+                ):
+                    continue
+                for arg in call.args:
+                    if isinstance(arg, ast.Tuple) and arg.elts:
+                        label = arg.elts[0]
+                        if isinstance(label, ast.Constant) and isinstance(
+                            label.value, str
+                        ):
+                            self.price_lines.append((label.value, call.lineno))
+
+    def cross_check(self) -> list[Finding]:
+        if self.billing_path is None:
+            return []  # billing.py not in the scanned set — nothing to check
+        findings: list[Finding] = []
+        posix = self.billing_path.as_posix()
+
+        resolved: dict[str, tuple[str, int]] = {}
+        for key, path, line in self.metered_keys:
+            if key.startswith("$"):
+                constant = self.billing_constants.get(key[1:])
+                if constant is None:
+                    continue
+                key = constant
+            resolved.setdefault(key, (path, line))
+
+        # A metered service key's price lines share its dotted prefix:
+        # "dynamodb-gsi" -> "dynamodb.gsi.*".
+        prefixes = {key: key.replace("-", ".") + "." for key in resolved}
+        for key, (path, line) in sorted(resolved.items()):
+            if not any(label.startswith(prefixes[key]) for label, _ in self.price_lines):
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=0,
+                        rule="PL002",
+                        message=(
+                            f"service key {key!r} is metered but has no "
+                            f"'{prefixes[key]}*' line in PriceBook.cost"
+                        ),
+                        hint="add the price line (metered spend must be billable)",
+                    )
+                )
+        for label, line in sorted(self.price_lines):
+            owners = [
+                key for key, prefix in prefixes.items() if label.startswith(prefix)
+            ]
+            if not owners:
+                findings.append(
+                    Finding(
+                        path=posix,
+                        line=line,
+                        col=0,
+                        rule="PL002",
+                        message=(
+                            f"price line {label!r} matches no metered service "
+                            "key (dead price line)"
+                        ),
+                        hint="meter the service or delete the line",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(path)
+        for candidate in sorted(path.rglob("*.py")):
+            relative = candidate.relative_to(path)
+            parents = [path / p for p in relative.parents if str(p) != "."]
+            if any((parent / IGNORE_MARKER).exists() for parent in parents + [path]):
+                continue
+            if any(part.startswith(".") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def check_source(source: str, path: Path, repo_data: RepoData | None = None) -> list[Finding]:
+    """Check one module's source text (the unit-test entry point)."""
+    repo = repo_data if repo_data is not None else RepoData()
+    tree = ast.parse(source, filename=str(path))
+    if path.as_posix().endswith("repro/aws/billing.py"):
+        repo.harvest_billing(path, tree)
+    findings = FileChecker(path, tree, repo).run()
+    if repo_data is None:
+        findings.extend(repo.cross_check())
+    return findings
+
+
+def check_paths(paths: Iterable[Path]) -> list[Finding]:
+    """Check files/trees; repo-level rules see the whole set at once."""
+    repo = RepoData()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            findings.append(
+                Finding(
+                    path=path.as_posix(), line=1, col=0, rule="PL000",
+                    message=f"unreadable: {error}", hint="fix file permissions",
+                )
+            )
+            continue
+        try:
+            findings.extend(check_source(source, path, repo))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=path.as_posix(), line=error.lineno or 1, col=0,
+                    rule="PL000", message=f"syntax error: {error.msg}",
+                    hint="fix the syntax error",
+                )
+            )
+    findings.extend(repo.cross_check())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="provlint", description="AST invariant checker for the simulated cloud"
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], type=Path)
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON array"
+    )
+    args = parser.parse_args(argv)
+    paths = [Path(p) for p in args.paths] or [Path("src")]
+    findings = check_paths(paths)
+    if args.json:
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"provlint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

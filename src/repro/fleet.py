@@ -26,7 +26,7 @@ from repro.core.s3_simpledb import S3SimpleDB
 from repro.core.s3_simpledb_sqs import S3SimpleDBSQS
 from repro.core.s3_standalone import S3Standalone
 from repro.errors import ClientCrash
-from repro.migration.handle import RouterHandle
+from repro.migration.handle import RouterHandle, fresh_handle
 from repro.migration.live import LiveMigration, MigrationReport, begin_live_migration
 from repro.passlib.records import FlushEvent
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
@@ -92,7 +92,7 @@ class ClientFleet:
         #: migration redirects every client's store, every commit
         #: daemon, and every shared query engine simultaneously, epoch
         #: by epoch.
-        self.routing = RouterHandle(ShardRouter(shards, placement=placement))
+        self.routing = fresh_handle(shards, placement=placement)
         #: Worker-pool width for shared query engines (None → sequential
         #: or the ``REPRO_QUERY_CONCURRENCY`` environment override).
         self.concurrency = concurrency

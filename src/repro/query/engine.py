@@ -68,7 +68,7 @@ from repro.passlib.serializer import (
     bundles_from_s3_metadata,
     parse_nonce,
 )
-from repro.migration.handle import RouterHandle, Site, as_handle
+from repro.migration.handle import RouterHandle, Site, as_handle, fresh_handle
 from repro.query.latency import DEFAULT_LATENCY_MODEL, QueryLatencyModel, makespan
 from repro.sharding import ShardRouter
 
@@ -291,8 +291,10 @@ class SimpleDBEngine(_Metered):
         #: observe live-migration cutovers at the moment it dispatches —
         #: during a migration, phases cover the union of source stores
         #: and cut-over target stores.
-        self.routing = as_handle(
-            router if router is not None else ShardRouter(1, base_domain=domain)
+        self.routing = (
+            as_handle(router)
+            if router is not None
+            else fresh_handle(base_domain=domain)
         )
         #: Backend adapters by kind; each shard's stream reads through
         #: the adapter its placement names.
@@ -376,14 +378,20 @@ class SimpleDBEngine(_Metered):
             # skips thread spawn entirely.
             outcomes = []
             for _, fn in tasks:
-                with self.account.meter.scoped() as scope:
-                    result = fn()
+                with self.account.meter.expect_scope():
+                    with self.account.meter.scoped() as scope:
+                        result = fn()
                 outcomes.append((result, scope))
         else:
 
             def run(fn: Callable[[], T]):
-                with self.account.meter.scoped() as scope:
-                    return fn(), scope
+                # The expect_scope marker brackets the whole stream on
+                # this worker thread: under REPRO_SANITIZE=1 any spend a
+                # future code path records outside the scope below is
+                # reported as an unattributed-spend leak.
+                with self.account.meter.expect_scope():
+                    with self.account.meter.scoped() as scope:
+                        return fn(), scope
 
             # A pool per wave: workers never outlive the dispatch, so
             # handing engines out freely (Simulation.query_engine() makes
@@ -454,7 +462,8 @@ class SimpleDBEngine(_Metered):
                 return None
             return bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
 
-        (bundle,) = self._run_wave([(self._label(site), lookup)])
+        with self.account.meter.expect_scope():
+            (bundle,) = self._run_wave([(self._label(site), lookup)])
         refs = {bundle.subject} if bundle is not None else set()
         return self._measure_sharded(refs, before)
 
@@ -487,9 +496,10 @@ class SimpleDBEngine(_Metered):
 
             return stream
 
-        shard_refs = self._run_wave(
-            [(label, scan_shard(site)) for label, site in self._query_sites()]
-        )
+        with self.account.meter.expect_scope():
+            shard_refs = self._run_wave(
+                [(label, scan_shard(site)) for label, site in self._query_sites()]
+            )
         refs: set[ObjectRef] = set()
         for found in shard_refs:
             refs.update(found)
@@ -581,12 +591,15 @@ class SimpleDBEngine(_Metered):
         """Files that are outputs of ``program`` — two indexed phases (§5),
         each phase scattered across every shard."""
         before = self._begin()
-        instances = self._find_program_instances(program)
-        refs: set[ObjectRef] = set()
-        if instances:
-            refs = {
-                ref for ref, kind in self._objects_with_inputs(instances) if kind == "file"
-            }
+        with self.account.meter.expect_scope():
+            instances = self._find_program_instances(program)
+            refs: set[ObjectRef] = set()
+            if instances:
+                refs = {
+                    ref
+                    for ref, kind in self._objects_with_inputs(instances)
+                    if kind == "file"
+                }
         return self._measure_sharded(refs, before)
 
     # -- Q3 ------------------------------------------------------------------------------
@@ -606,23 +619,26 @@ class SimpleDBEngine(_Metered):
         per-round wave makespans.
         """
         before = self._begin()
-        instances = self._find_program_instances(program)
-        seeds = {
-            ref for ref, kind in self._objects_with_inputs(instances) if kind == "file"
-        }
-        visited: set[ObjectRef] = set(seeds)
-        results: set[ObjectRef] = set(seeds)
-        frontier = set(seeds)
-        while frontier:
-            children = self._objects_with_inputs(frontier)
-            frontier = set()
-            for ref, kind in children:
-                if ref in visited:
-                    continue
-                visited.add(ref)
-                frontier.add(ref)
-                if kind == "file":
-                    results.add(ref)
+        with self.account.meter.expect_scope():
+            instances = self._find_program_instances(program)
+            seeds = {
+                ref
+                for ref, kind in self._objects_with_inputs(instances)
+                if kind == "file"
+            }
+            visited: set[ObjectRef] = set(seeds)
+            results: set[ObjectRef] = set(seeds)
+            frontier = set(seeds)
+            while frontier:
+                children = self._objects_with_inputs(frontier)
+                frontier = set()
+                for ref, kind in children:
+                    if ref in visited:
+                        continue
+                    visited.add(ref)
+                    frontier.add(ref)
+                    if kind == "file":
+                        results.add(ref)
         return self._measure_sharded(results, before)
 
 

@@ -33,6 +33,7 @@ from repro.migration.live import (
 )
 from repro.passlib.records import FlushEvent
 from repro.query.engine import S3ScanEngine, SimpleDBEngine
+from repro.migration.handle import fresh_handle
 from repro.sharding import RebalanceReport, ShardRouter, rebalance
 from repro.workloads.base import TraceStats, Workload
 
@@ -91,7 +92,7 @@ class Simulation:
             wait=lambda: self.account.clock.advance(0.5),
         )
         if architecture_kwargs.get("router") is None:
-            architecture_kwargs["router"] = ShardRouter(shards, placement=placement)
+            architecture_kwargs["router"] = fresh_handle(shards, placement=placement)
         elif shards != 1 or placement is not None:
             raise ValueError("pass shards=N/placement=... or router=..., not both")
         if architecture != "s3":

@@ -19,6 +19,24 @@ if os.environ.get("HYPOTHESIS_PROFILE"):
     settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 from repro.aws.account import AWSAccount, ConsistencyConfig
+from repro.devtools import sanitize
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_gate():
+    """Under REPRO_SANITIZE=1, fail the test whose run grew the
+    sanitizer's violation registry — the sanitizer records instead of
+    raising, so this is what localises an offending interleaving.
+    Inert (no setup cost, no assertion) when the sanitizer is off."""
+    if not sanitize.enabled():
+        yield
+        return
+    before = len(sanitize.violations())
+    yield
+    grown = sanitize.violations()[before:]
+    assert not grown, "sanitizer violations during this test:\n" + "\n".join(
+        violation.render() for violation in grown
+    )
 from repro.blob import BytesBlob
 from repro.core.base import RetryPolicy
 from repro.core.s3_simpledb import S3SimpleDB

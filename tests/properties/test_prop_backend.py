@@ -149,7 +149,7 @@ def test_all_sdb_placement_meters_identically_to_pre_refactor_engine(
 
     q1_all = engine.q1_all()
     legacy_refs, legacy_ops, legacy_bytes = legacy_q1_all_measure(sim)
-    assert {ref for ref in q1_all.refs} == legacy_refs
+    assert set(q1_all.refs) == legacy_refs
     assert q1_all.operations == legacy_ops
     assert q1_all.bytes_out == legacy_bytes
 

@@ -1,0 +1,25 @@
+"""PL001 fixture: every way to get lock discipline wrong at once."""
+
+import threading
+
+from repro.concurrency import synchronized
+
+
+class BadService:  # expect: PL001
+    """@synchronized methods, but ``_lock`` is minted raw, not via new_lock."""
+
+    def __init__(self, meter):
+        self._meter = meter
+        self._lock = threading.RLock()  # expect: PL001
+
+    @synchronized
+    def get_state(self):
+        return 0
+
+    def put_object(self, key, blob):  # expect: PL001
+        self._state = (key, blob)
+
+    @property
+    def approximate_size(self):
+        # Exempt: read-only descriptor, no @synchronized required.
+        return 0

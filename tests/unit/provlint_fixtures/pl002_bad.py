@@ -1,0 +1,25 @@
+"""PL002 fixture: meter touched outside any synchronized/scoped context."""
+
+from repro.concurrency import new_lock, synchronized
+
+
+class LeakyService:
+    def __init__(self, meter):
+        self._meter = meter
+        self._lock = new_lock()
+
+    @synchronized
+    def fine_synchronized(self, nbytes):
+        self._meter.record_transfer_in("s3", nbytes)
+
+    def fine_scoped(self, account):
+        with account.meter.scoped() as scope:
+            self._meter.record_request("s3", "GetObject")
+            return scope
+
+    def _fine_private_helper(self):
+        # Runs under a synchronized caller's lock; PL001 guards the callers.
+        self._meter.record_request("s3", "GetObject")
+
+    def leaky_public(self):
+        return self._meter.record_request("s3", "GetObject")  # expect: PL002

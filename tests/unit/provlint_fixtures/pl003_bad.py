@@ -1,0 +1,23 @@
+"""PL003 fixture: wall-clock and global-random reads in library code."""
+
+import random
+import time
+from datetime import datetime
+
+
+def jitter_delay():
+    base = time.time()  # expect: PL003
+    return base + random.random()  # expect: PL003
+
+
+def stamp():
+    return datetime.now().isoformat()  # expect: PL003
+
+
+def unseeded():
+    return random.Random()  # expect: PL003
+
+
+def seeded_is_fine(seed):
+    # The rng-family idiom: an explicit seed makes the stream reproducible.
+    return random.Random(seed).random()

@@ -1,0 +1,17 @@
+"""PL004 fixture: hand-rolled ':v' versioned-reference surgery."""
+
+
+def version_of(ref):
+    return int(ref.rsplit(":v", 1)[1])  # expect: PL004
+
+
+def is_versioned(ref):
+    return ":v" in ref  # membership alone is not surgery; not flagged
+
+
+def make_ref(name, version):
+    return f"{name}:v{version}"  # expect: PL004
+
+
+def base_name(ref):
+    return ref.partition(":v")[0]  # expect: PL004

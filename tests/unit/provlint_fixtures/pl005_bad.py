@@ -1,0 +1,11 @@
+"""PL005 fixture: bare router construction and .router swaps by a consumer."""
+
+from repro.sharding import ShardRouter
+
+
+class HomegrownEngine:
+    def __init__(self, shards):
+        self.routing = ShardRouter(shards)  # expect: PL005
+
+    def rebalance(self, handle, target_router):
+        handle.router = target_router  # expect: PL005

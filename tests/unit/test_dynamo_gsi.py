@@ -394,7 +394,7 @@ def test_gsi_fuzz_interleaved_ops_never_invent_data(ops, seed):
     # the base table's authoritative state implies.
     for value in ("a", "b", "c"):
         page = ddb.query_index("t", "gsi-k", [value])
-        got = {name: attrs for name, attrs in page.entries}
+        got = dict(page.entries)
         expected = {}
         for item_name in ddb.authoritative_item_names("t"):
             state = ddb.authoritative_item("t", item_name)
