@@ -9,7 +9,8 @@
 #   make bench-check  perf-regression gate: metered Q1/Q2/Q3 totals vs
 #                     benchmarks/baselines.json (rebaseline with
 #                     `PYTHONPATH=src python benchmarks/check_baselines.py --write`)
-#   make lint         ruff check over src/tests/benchmarks (config: ruff.toml)
+#   make lint         ruff check over src/tests/benchmarks/examples
+#                     (config: ruff.toml)
 #   make lint-prov    provlint — the project's AST invariant checker
 #                     (lock discipline, metering/billing coverage,
 #                     determinism, ':v' wire-format ownership, router
@@ -56,6 +57,26 @@
 #                                fleet; `make test-migration` runs just the
 #                                live-migration suites (what the CI
 #                                live-migration job executes)
+#   REPRO_READ_CACHE=SPEC        ElastiCache-style read-cache tier fronting
+#                                the provenance backends (also `repro demo
+#                                --read-cache [SPEC]`). Unset/empty/off
+#                                (default) builds no cache — byte-identical
+#                                on the meter; "1"/"on" = defaults (256 KiB
+#                                node, 5 s staleness bound); a bare integer
+#                                sets capacity; "capacity=N,staleness=S"
+#                                sets both. One cache authority per account
+#                                owns the node: bounded LRU with metered
+#                                hits/misses/evictions on the elasticache.*
+#                                billing keys, write-through invalidation on
+#                                every put/delete path (group-commit batches
+#                                and migration double-writes included), and
+#                                version-fenced memoised Q2/Q3 closures so
+#                                repeated queries collapse to a few cache
+#                                consults. No entry is ever served older
+#                                than the staleness bound.
+#                                bench_read_cache.py quantifies the repeat
+#                                collapse; the read-cache/* bench-gate keys
+#                                pin it both ways.
 #   REPRO_SANITIZE=1             opt-in runtime sanitizer: new_lock() hands
 #                                out order-recording lock shims that check
 #                                the documented service -> meter -> leaf
@@ -76,7 +97,7 @@ BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='
 # smoke stay in sync — extend this list as new benchmarks land).
 BENCH_SMOKE_FILES = bench_sharding_scaleout.py bench_concurrent_gather.py \
 	bench_multibackend.py bench_migration_live.py bench_table3_query.py \
-	bench_group_commit.py
+	bench_group_commit.py bench_read_cache.py
 
 # The live-migration suites alone (fleet writing while a layout
 # migration runs) — what the CI live-migration job executes.
@@ -106,7 +127,7 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/check_baselines.py
 
 lint:
-	ruff check src tests benchmarks
+	ruff check src tests benchmarks examples
 
 lint-prov:
-	PYTHONPATH=src $(PYTHON) -m repro.devtools.provlint src tests benchmarks
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.provlint src tests benchmarks examples

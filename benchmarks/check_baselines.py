@@ -27,7 +27,12 @@ Usage::
 ``make bench-check`` runs the gate; CI runs it as the ``bench-gate``
 job. A PR that legitimately changes a metered total must update the
 baseline file in the same PR (with ``--write``) so the drift is visible
-in review, never silent.
+in review, never silent. The ``read-cache/...`` keys pin the
+ElastiCache-tier contract with the knob held both ways: the ``off``
+rows are the byte-identity sentinel (zero ``elasticache`` operations,
+backend totals identical to the uncached path), and the ``on`` rows
+freeze the headline collapse — a repeated Q2/Q3 answers from memoised
+ancestry closures with zero backend operations.
 
 The workload and queries are fully deterministic (seeded RNG, MD5 shard
 routing, strong consistency), so totals are exact integers — comparison
@@ -96,6 +101,7 @@ def measure() -> dict[str, int]:
                 totals[f"{prefix}/{name}/results"] = measurement.result_count
     totals.update(measure_migration(events))
     totals.update(measure_group_commit(events))
+    totals.update(measure_read_cache(events))
     return totals
 
 
@@ -124,6 +130,46 @@ def measure_group_commit(events) -> dict[str, int]:
         totals[f"{prefix}/ops"] = load.request_count()
         totals[f"{prefix}/sdb_ops"] = load.request_count(billing.SDB)
         totals[f"{prefix}/sqs_ops"] = load.request_count(billing.SQS)
+    return totals
+
+
+def measure_read_cache(events) -> dict[str, int]:
+    """Read-cache tier totals with the knob pinned both ways.
+
+    The mode is passed explicitly (``off``/``on``) so these keys
+    inherit nothing from ``REPRO_READ_CACHE``. The ``off`` rows are the
+    byte-identity sentinel — zero cache operations, backend totals
+    equal on first and repeated runs. The ``on`` rows freeze the
+    headline collapse: the repeated Q2/Q3 answers entirely from the
+    authority's memoised closures (zero backend operations), and the
+    hit counter pins the item-level cache behaviour on the first runs.
+    """
+    from repro.sim import Simulation
+
+    totals: dict[str, int] = {}
+    for mode in ("off", "on"):
+        sim = Simulation(
+            architecture="s3+simpledb", seed=SEED, shards=4, read_cache=mode,
+        )
+        sim.store_events(events, collect=False)
+        engine = sim.query_engine()
+        q2_first = engine.q2_outputs_of(PROGRAM)
+        q2_repeat = engine.q2_outputs_of(PROGRAM)
+        q3_first = engine.q3_descendants_of(PROGRAM)
+        q3_repeat = engine.q3_descendants_of(PROGRAM)
+        prefix = f"read-cache/{mode}"
+        for name, first, repeat in (
+            ("q2", q2_first, q2_repeat),
+            ("q3", q3_first, q3_repeat),
+        ):
+            totals[f"{prefix}/{name}/first_ops"] = first.operations
+            totals[f"{prefix}/{name}/repeat_ops"] = repeat.operations
+            totals[f"{prefix}/{name}/repeat_cache_ops"] = repeat.cache_operations
+            totals[f"{prefix}/{name}/results"] = repeat.result_count
+        if mode == "on":
+            cache = sim.account.read_cache
+            totals[f"{prefix}/hits"] = cache.hits
+            totals[f"{prefix}/evictions"] = cache.evictions
     return totals
 
 

@@ -11,11 +11,14 @@ against (see DESIGN.md §2 for the substitution argument). It provides:
 * :mod:`repro.aws.billing` — request/byte/byte-hour metering and the
   January-2009 price book,
 * :mod:`repro.aws.faults` — crash-point and transient-failure injection,
+* :mod:`repro.aws.elasticache` — the ElastiCache-style provenance
+  read-cache tier and its cache authority,
 * :mod:`repro.aws.account` — one object wiring all of the above together.
 """
 
 from repro.aws.account import AWSAccount, ConsistencyConfig
 from repro.aws.billing import Meter, PriceBook, Usage
+from repro.aws.elasticache import ReadCacheAuthority
 from repro.aws.faults import FaultPlan, RequestFaults, NO_FAULTS
 from repro.aws.s3 import S3Service
 from repro.aws.simpledb import SimpleDBService
@@ -30,6 +33,7 @@ __all__ = [
     "FaultPlan",
     "RequestFaults",
     "NO_FAULTS",
+    "ReadCacheAuthority",
     "S3Service",
     "SimpleDBService",
     "SQSService",

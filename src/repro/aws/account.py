@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.aws.billing import Meter, PriceBook
 from repro.aws.consistency import DelayModel, make_rng_family
 from repro.aws.dynamo import DynamoDBService
+from repro.aws.elasticache import build_read_cache
 from repro.aws.faults import RequestFaults
 from repro.aws.s3 import S3Service
 from repro.aws.simpledb import SimpleDBService
@@ -67,13 +68,20 @@ class AWSAccount:
         consistency: ConsistencyConfig | None = None,
         prices: PriceBook | None = None,
         ddb_indexes: str | tuple | None = None,
+        read_cache: str | bool | int | None = None,
     ):
         """``ddb_indexes`` declares the global secondary indexes the
         DynamoDB-style provenance backend provisions on every shard
         table (a spec string like ``"name,input"``, ready
         :class:`~repro.aws.dynamo.IndexSpec` objects, or ``None`` for
         the ``REPRO_DDB_INDEXES`` environment default — no indexes when
-        that is unset)."""
+        that is unset). ``read_cache`` enables the ElastiCache-style
+        provenance read-cache tier (:mod:`repro.aws.elasticache`):
+        ``"on"``/``True`` for the defaults, a capacity/option spec like
+        ``"capacity=65536,staleness=2.5"``, ``None`` for the
+        ``REPRO_READ_CACHE`` environment default, or ``""``/``"off"``/
+        ``False`` for no cache — the default, byte-identical on the
+        meter to a build without the cache tier."""
         self.consistency = consistency or ConsistencyConfig.strong()
         self.clock = SimClock()
         self.meter = Meter(self.clock)
@@ -117,6 +125,11 @@ class AWSAccount:
         )
         self._ddb_indexes = ddb_indexes
         self._provenance_backends = None
+        #: The read-cache authority fronting the provenance backends, or
+        #: ``None`` when the tier is off (the default): consumers gate
+        #: every cache touch on this being non-None, so the off path
+        #: records nothing and stays byte-identical on the meter.
+        self.read_cache = build_read_cache(read_cache, self.clock, self.meter)
 
     def provenance_backends(self):
         """Backend adapters by kind ({"sdb": ..., "ddb": ...}) — what a

@@ -56,6 +56,13 @@ DDB = "dynamodb"
 #: Query-on-index read units surface as their own billing lines instead
 #: of hiding inside the base table's totals.
 DDB_GSI = "dynamodb-gsi"
+#: The ElastiCache-style provenance read-cache tier
+#: (:mod:`repro.aws.elasticache`). Its own meter key so the cost of
+#: *having* the cache (fill puts, cached bytes held in node memory) and
+#: of *hitting* it (gets, bytes served) are line items next to the
+#: backend spend it displaces — the repeated-query savings claim is
+#: auditable, not asserted.
+ELASTICACHE = "elasticache"
 
 #: Request classes that S3 bills at the PUT tier ($0.01 / 1,000).
 S3_PUT_CLASS = frozenset({"PUT", "COPY", "POST", "LIST"})
@@ -492,6 +499,15 @@ class PriceBook:
     #: written/read regardless of batching; this line prices the *round
     #: trips*, which is what ``BatchWriteItem`` amortises.
     ddb_per_10000_requests: float = 0.01
+    # ElastiCache-style read-cache tier (anachronistic next to the 2009
+    # trio, like the DynamoDB-style store; flagged in the module
+    # docstring). Requests are cheap memcached-protocol round trips;
+    # cached bytes are priced as node memory, well above disk storage —
+    # the capacity/eviction trade-off has a real price attached.
+    cache_per_10000_requests: float = 0.005
+    cache_storage_gb_month: float = 8.00
+    cache_transfer_in_gb: float = 0.10
+    cache_transfer_out_gb: float = 0.17
 
     def cost(self, usage: Usage) -> "CostReport":
         """Convert a usage snapshot to an itemised USD cost report."""
@@ -552,6 +568,27 @@ class PriceBook:
         lines.append((
             "dynamodb.gsi.storage",
             usage.gb_months(DDB_GSI) * self.ddb_storage_gb_month,
+        ))
+
+        # The read-cache tier: request volume, transfer, and node-memory
+        # storage. Invalidations piggyback on the write path's existing
+        # round trips (see repro.aws.elasticache) so they carry no
+        # request line of their own.
+        lines.append((
+            "elasticache.requests",
+            usage.request_count(ELASTICACHE) / 10000 * self.cache_per_10000_requests,
+        ))
+        lines.append((
+            "elasticache.transfer.in",
+            usage.transfer_in(ELASTICACHE) / GB * self.cache_transfer_in_gb,
+        ))
+        lines.append((
+            "elasticache.transfer.out",
+            usage.transfer_out(ELASTICACHE) / GB * self.cache_transfer_out_gb,
+        ))
+        lines.append((
+            "elasticache.storage",
+            usage.gb_months(ELASTICACHE) * self.cache_storage_gb_month,
         ))
 
         sqs_ops = usage.request_count(SQS)

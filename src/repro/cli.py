@@ -156,7 +156,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
                          placement=args.backend,
                          concurrency=args.concurrency,
                          ddb_indexes=args.ddb_indexes,
-                         write_batch=args.write_batch)
+                         write_batch=args.write_batch,
+                         read_cache=args.read_cache)
     except ValueError as exc:  # e.g. a malformed --backend/--ddb-indexes spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -211,6 +212,16 @@ def cmd_demo(args: argparse.Namespace) -> int:
             f"{outputs.latency * 1000:.0f} ms ({mode}; one-at-a-time "
             f"{outputs.sequential_latency * 1000:.0f} ms)"
         )
+        cache = sim.account.read_cache
+        if cache is not None:
+            repeat = sim.query_engine().q2_outputs_of("analyze")
+            print(
+                f"Q2 repeated with read cache: {repeat.operations} backend "
+                f"op(s) + {repeat.cache_operations} cache op(s) "
+                f"(hits {cache.hits}, misses {cache.misses}, "
+                f"evictions {cache.evictions}, "
+                f"{cache.stored_nbytes()}B cached)"
+            )
     import os
 
     from repro.migration import MIGRATION_ENV, parse_migration_spec
@@ -343,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
         "applies N transactions per round with batched WAL deletes; "
         "default 1 (the paper's one-request-per-item path) or the "
         "REPRO_WRITE_BATCH environment override",
+    )
+    demo.add_argument(
+        "--read-cache", nargs="?", const="on", default=None, metavar="SPEC",
+        help="front provenance reads with the ElastiCache-style cache "
+        "tier: bare flag or 'on' for the defaults, a byte count for a "
+        "custom capacity, or 'capacity=N,staleness=SECONDS'; default is "
+        "the REPRO_READ_CACHE environment spec or off (byte-identical "
+        "meter)",
     )
     demo.add_argument(
         "--migrate", default=None, metavar="SPEC",

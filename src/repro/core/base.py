@@ -291,6 +291,12 @@ def put_provenance_item(
     migration's overhead, never to the client's own bill analysis) or
     ask for WAL capture (the copy phase: the bulk copy may already have
     passed this item, so the write is queued for catch-up replay).
+
+    Being the single choke point also makes it the write-through
+    invalidation hook: when the account runs the read-cache tier, the
+    item's cached entry is dropped *after* the write lands on every
+    planned site — covering the A2 client, the A3 commit daemon, the
+    coalescer, and migration double-writes alike.
     """
     routing = as_handle(routing)
     plan = routing.write_plan(item_name)
@@ -309,6 +315,8 @@ def put_provenance_item(
             migration.note_double_write(site, scope.usage())
     if plan.capture and migration is not None:
         migration.capture_write(item_name, attrs)
+    if account.read_cache is not None:
+        account.read_cache.invalidate(item_name)
 
 
 def put_provenance_items(
@@ -339,6 +347,7 @@ def put_provenance_items(
     primaries: dict[tuple[str, str], tuple[Site, list]] = {}
     mirrors: dict[tuple[str, str], tuple[Site, list]] = {}
     captures: list[tuple[str, list[tuple[str, str]]]] = []
+    written: list[str] = []
     for item_name, attributes in items:
         attrs = list(attributes)
         plan = routing.write_plan(item_name)
@@ -346,6 +355,7 @@ def put_provenance_items(
         primaries.setdefault(primary.key, (primary, []))[1].append(
             (item_name, attrs)
         )
+        written.append(item_name)
         for site in rest:
             mirrors.setdefault(site.key, (site, []))[1].append((item_name, attrs))
         if plan.capture and migration is not None:
@@ -359,6 +369,8 @@ def put_provenance_items(
             migration.note_double_write(site, scope.usage())
     for item_name, attrs in captures:
         migration.capture_write(item_name, attrs)
+    if account.read_cache is not None:
+        account.read_cache.invalidate_many(written)
 
 
 def data_key(name: str) -> str:

@@ -162,6 +162,10 @@ class S3SimpleDB(ProvenanceCloudStore):
         expected = consistency_token(data.blob.md5(), nonce)
         if stored_token != expected:
             self.consistency_retries += 1
+            # The mismatched attrs may have come from (or been filled
+            # into) the read cache; drop them so the retry re-reads the
+            # backend instead of re-serving the same skewed entry.
+            self._uncache(subject.item_name)
             raise _InconsistentRead(
                 f"{subject.item_name}: md5 mismatch (data/provenance skew)"
             )
@@ -186,6 +190,7 @@ class S3SimpleDB(ProvenanceCloudStore):
             expected = consistency_token(current.blob.md5(), f"v{version:04d}")
             if stored_token != expected:
                 self.consistency_retries += 1
+                self._uncache(subject.item_name)
                 raise _InconsistentRead(f"{subject.item_name}: md5 mismatch")
             data = current.blob
         return ReadResult(subject=subject, data=data, bundle=bundle, consistent=consistent)
@@ -199,9 +204,29 @@ class S3SimpleDB(ProvenanceCloudStore):
         retry discipline exists to absorb. The site comes from the
         shared routing handle: during a live migration reads stay on
         the source layout until the owning shard cuts over.
+
+        When the read-cache tier is on, the authority is consulted
+        first; a miss falls through to the backend and fills the cache,
+        fenced against invalidations that land during the read. Empty
+        results are never cached — a replica that has not seen the item
+        yet must not suppress the next probe.
         """
+        cache = self.account.read_cache
+        if cache is not None:
+            hit, attrs = cache.get_item(item_name)
+            if hit:
+                return attrs
+            fence = cache.fence()
         site = self.routing.read_site(name)
-        return backend_for_site(self.account, site).get_item(site.domain, item_name)
+        attrs = backend_for_site(self.account, site).get_item(site.domain, item_name)
+        if cache is not None and attrs:
+            cache.put_item(item_name, attrs, fence)
+        return attrs
+
+    def _uncache(self, item_name: str) -> None:
+        """Drop one item's read-cache entry (consistency-retry paths)."""
+        if self.account.read_cache is not None:
+            self.account.read_cache.invalidate(item_name)
 
     def _decode_item(self, item_name: str, attrs) -> ProvenanceBundle:
         def fetch_overflow(key: str) -> str:
@@ -267,6 +292,7 @@ class S3SimpleDB(ProvenanceCloudStore):
                         backend_for_site(self.account, delete_site).delete_item(
                             delete_site.domain, item_name
                         )
+                    self._uncache(item_name)
                     removed.append(item_name)
         self.orphans_removed += len(removed)
         return removed

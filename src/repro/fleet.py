@@ -68,13 +68,18 @@ class ClientFleet:
         concurrency: int | None = None,
         ddb_indexes: str | tuple | None = None,
         write_batch: int | None = None,
+        read_cache: str | bool | int | None = None,
     ):
         """``ddb_indexes`` declares GSIs on DynamoDB-placed provenance
         shards (spec string like ``"name,input"``; default the
         ``REPRO_DDB_INDEXES`` environment spec) — shared by the whole
         fleet, like the shard layout itself. ``write_batch`` sets every
         client's write-coalescer/group-commit width (default 1, or the
-        ``REPRO_WRITE_BATCH`` environment override)."""
+        ``REPRO_WRITE_BATCH`` environment override). ``read_cache``
+        enables the account-wide ElastiCache-style read-cache tier
+        (``"on"``/spec/``REPRO_READ_CACHE`` override; default off) —
+        one authority shared by all clients, so any client's write
+        invalidates what another client cached."""
         if architecture not in _FACTORIES:
             raise ValueError(f"unknown architecture {architecture!r}")
         self.architecture = architecture
@@ -82,6 +87,7 @@ class ClientFleet:
             seed=seed,
             consistency=consistency or ConsistencyConfig.strong(),
             ddb_indexes=ddb_indexes,
+            read_cache=read_cache,
         )
         #: One seeded stream drives every fleet-level random choice —
         #: never the module-level ``random`` state, which other tests

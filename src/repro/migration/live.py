@@ -355,6 +355,19 @@ class LiveMigration:
             self.report.writes_by_backend.get(kind, 0) + 1
         )
 
+    def _invalidate_cached(self, item_name: str) -> None:
+        """Write-through invalidation for the migration's own writes.
+
+        WAL replays, repair copies, and scrub deletes bypass the
+        :func:`~repro.core.base.put_provenance_item` choke point (they
+        talk to backends directly), so they notify the read-cache
+        authority themselves; invalidations are unmetered, so the
+        migration's scoped overhead accounting is unperturbed. Cutovers
+        need no hook — the routing epoch is part of every memo key.
+        """
+        if self.account.read_cache is not None:
+            self.account.read_cache.invalidate(item_name)
+
     # -- the state machine -------------------------------------------------
 
     def start(self) -> None:
@@ -551,6 +564,7 @@ class LiveMigration:
                         )
                         self.report.replayed_records += 1
                         self._count_write(target_kind)
+                        self._invalidate_cached(item_name)
                     else:
                         self.report.skipped_replays += 1
                     self.account.sqs.delete_message(
@@ -631,9 +645,11 @@ class LiveMigration:
                         )
                         self.report.repair_copies += 1
                         self._count_write(target_kind)
+                        self._invalidate_cached(item_name)
                     if survivor:
                         backend.delete_item(source_domain, item_name)
                         self.report.scrub_deletes += 1
+                        self._invalidate_cached(item_name)
                 if not survivor:
                     backend.drop(source_domain)
                     self.report.domains_deleted.append(source_domain)

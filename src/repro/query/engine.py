@@ -58,7 +58,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, TypeVar
 
 from repro.aws.account import AWSAccount
-from repro.aws.billing import Usage
+from repro.aws.billing import ELASTICACHE, Usage
 from repro.aws.sdb_query import quote_literal
 from repro.core.base import DATA_BUCKET, PROV_DOMAIN
 from repro.errors import NoSuchKey
@@ -110,6 +110,18 @@ class QueryMeasurement:
     critical path on the worker pool; for a sequential engine it equals
     ``sequential_latency``, the plain sum of per-request round trips
     (see ``repro.query.latency``).
+
+    Per-tier attribution: ``operations``/``bytes_out`` (and the
+    ``per_shard``/``per_backend`` splits) count **backend** spend only —
+    the requests that reached SimpleDB/DynamoDB/S3. When the read-cache
+    tier is on, cache consults and fills are metered separately on
+    ``cache_operations``/``cache_bytes_out`` with ``per_shard_cache``
+    giving the same per-label split (point-read consults accrue to the
+    shard whose stream issued them; memoised-closure consults accrue to
+    the ``"elasticache"`` label, as they front a whole scatter phase
+    rather than one shard). ``usage`` remains the union — the meter
+    truth the bill is priced from. With the cache off every ``cache_*``
+    field is zero and the backend counts are the historical totals.
     """
 
     refs: tuple[ObjectRef, ...]
@@ -120,6 +132,9 @@ class QueryMeasurement:
     per_backend: tuple[tuple[str, int, int], ...] = ()
     latency: float = 0.0
     sequential_latency: float = 0.0
+    cache_operations: int = 0
+    cache_bytes_out: int = 0
+    per_shard_cache: tuple[tuple[str, int, int], ...] = ()
 
     @property
     def result_count(self) -> int:
@@ -144,14 +159,18 @@ class _Metered:
 
     def _measure(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
         spent = self.account.meter.snapshot() - before
+        cache_ops = spent.request_count(ELASTICACHE)
+        cache_bytes = spent.transfer_out(ELASTICACHE)
         seconds = self.latency_model.stream_seconds(spent)
         return QueryMeasurement(
             refs=tuple(sorted(refs)),
-            operations=spent.request_count(),
-            bytes_out=spent.transfer_out(),
+            operations=spent.request_count() - cache_ops,
+            bytes_out=spent.transfer_out() - cache_bytes,
             usage=spent,
             latency=seconds,
             sequential_latency=seconds,
+            cache_operations=cache_ops,
+            cache_bytes_out=cache_bytes,
         )
 
 
@@ -310,7 +329,13 @@ class SimpleDBEngine(_Metered):
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         self.concurrency = concurrency
+        #: The account's read-cache authority, or None when the tier is
+        #: off. Point reads (Q1) consult it per item; the Q2/Q3 scatter
+        #: phases memoise whole closure results through it, keyed by the
+        #: routing epoch and fenced by the invalidation generation.
+        self.cache = account.read_cache
         self._shard_spend: dict[str, tuple[int, int]] = {}
+        self._cache_spend: dict[str, tuple[int, int]] = {}
         self._site_kinds: dict[str, str] = {}
         self._latency = 0.0
         self._sequential_latency = 0.0
@@ -328,6 +353,7 @@ class SimpleDBEngine(_Metered):
     def _begin(self) -> Usage:
         """Start a measured query: reset accounting, snapshot the meter."""
         self._shard_spend = {}
+        self._cache_spend = {}
         self._site_kinds = {}
         self._latency = 0.0
         self._sequential_latency = 0.0
@@ -405,12 +431,23 @@ class SimpleDBEngine(_Metered):
         durations: list[float] = []
         results: list[T] = []
         for (domain, _), (result, scope) in zip(tasks, outcomes):
+            usage = scope.usage()
+            cache_ops = usage.request_count(ELASTICACHE)
+            cache_bytes = usage.transfer_out(ELASTICACHE)
             ops, nbytes = self._shard_spend.get(domain, (0, 0))
             self._shard_spend[domain] = (
-                ops + scope.request_count(),
-                nbytes + scope.transfer_out(),
+                ops + scope.request_count() - cache_ops,
+                nbytes + scope.transfer_out() - cache_bytes,
             )
-            durations.append(self.latency_model.stream_seconds(scope.usage()))
+            if cache_ops or cache_bytes:
+                # Cache consults a shard stream issued (Q1 point reads)
+                # accrue to that shard's label on the cache split.
+                held, held_bytes = self._cache_spend.get(domain, (0, 0))
+                self._cache_spend[domain] = (
+                    held + cache_ops,
+                    held_bytes + cache_bytes,
+                )
+            durations.append(self.latency_model.stream_seconds(usage))
             results.append(result)
         self._latency += makespan(durations, self.concurrency)
         self._sequential_latency += sum(durations)
@@ -419,6 +456,50 @@ class SimpleDBEngine(_Metered):
     def _backend(self, site: Site):
         """The backend adapter hosting one routed site."""
         return self.backends[site.kind]
+
+    def _memoised(self, key: tuple, compute: Callable[[], T]) -> T:
+        """Run one scatter phase through the memo side of the cache.
+
+        The memo key carries the routing epoch (a layout cutover makes
+        old entries unreachable LRU garbage rather than wrong answers);
+        the fill is fenced on the authority's invalidation generation,
+        captured by the consult itself — any provenance write between
+        consult and fill refuses the memoisation. Memo spend is scoped
+        (sanitizer discipline) and credited to the ``"elasticache"``
+        label on the cache split, since a memo hit stands in for a whole
+        scatter phase, not any one shard's stream.
+        """
+        cache = self.cache
+        if cache is None:
+            return compute()
+        full_key = key + (self.routing.epoch,)
+        with self.account.meter.scoped() as scope:
+            hit, value, fence = cache.memo_get(full_key)
+        self._credit_cache_scope(scope)
+        if hit:
+            return value
+        value = compute()
+        with self.account.meter.scoped() as scope:
+            cache.memo_put(full_key, fence, value, _memo_nbytes(value))
+        self._credit_cache_scope(scope)
+        return value
+
+    def _credit_cache_scope(self, scope) -> None:
+        """Accrue one scoped memo consult/fill to the cache split.
+
+        Its modeled round trips accrue to both latency totals (a memo
+        consult is one more sequential step, never overlapped), keeping
+        the latency model linear: pricing the query's global usage still
+        agrees with the per-stream accumulation.
+        """
+        ops = scope.request_count()
+        nbytes = scope.transfer_out()
+        if ops or nbytes:
+            held, held_bytes = self._cache_spend.get("elasticache", (0, 0))
+            self._cache_spend["elasticache"] = (held + ops, held_bytes + nbytes)
+            seconds = self.latency_model.stream_seconds(scope.usage())
+            self._latency += seconds
+            self._sequential_latency += seconds
 
     def _measure_sharded(self, refs: set[ObjectRef], before: Usage) -> QueryMeasurement:
         measurement = self._measure(refs, before)
@@ -437,6 +518,10 @@ class SimpleDBEngine(_Metered):
             per_backend=tuple(
                 (kind, ops, nbytes)
                 for kind, (ops, nbytes) in sorted(by_backend.items())
+            ),
+            per_shard_cache=tuple(
+                (domain, ops, nbytes)
+                for domain, (ops, nbytes) in sorted(self._cache_spend.items())
             ),
             latency=self._latency,
             sequential_latency=self._sequential_latency,
@@ -457,9 +542,20 @@ class SimpleDBEngine(_Metered):
         backend = self._backend(site)
 
         def lookup() -> ProvenanceBundle | None:
+            cache = self.cache
+            fence = 0
+            if cache is not None:
+                hit, attrs = cache.get_item(ref.item_name)
+                if hit:
+                    return bundle_from_item(
+                        ref.item_name, attrs, self._fetch_overflow
+                    )
+                fence = cache.fence()
             attrs = backend.get_item(site.domain, ref.item_name)
             if not attrs:
                 return None
+            if cache is not None:
+                cache.put_item(ref.item_name, attrs, fence)
             return bundle_from_item(ref.item_name, attrs, self._fetch_overflow)
 
         with self.account.meter.expect_scope():
@@ -523,7 +619,18 @@ class SimpleDBEngine(_Metered):
         )
 
     def _find_program_instances(self, program: str) -> set[ObjectRef]:
-        """Phase 1: all process versions of ``program`` — every site."""
+        """Phase 1: all process versions of ``program`` — every site.
+
+        Memoised through the cache authority: a repeated Q2/Q3 for the
+        same program answers this phase with zero backend reads until a
+        write (or layout cutover) invalidates it.
+        """
+        return self._memoised(
+            ("instances", program),
+            lambda: self._find_program_instances_live(program),
+        )
+
+    def _find_program_instances_live(self, program: str) -> set[ObjectRef]:
         literal = quote_literal(program)
         expression = f"['type' = 'process'] intersection ['name' = {literal}]"
 
@@ -555,7 +662,17 @@ class SimpleDBEngine(_Metered):
         so every chunk scatters across all domains and the matches are
         gathered into one set. The chunk x shard streams are mutually
         independent reads, so they form a single dispatch wave.
+
+        Memoised per frontier: repeated Q2/Q3 replay the same BFS rounds,
+        so each round's whole chunk-x-shard wave collapses to one cache
+        consult while its memo entry stays valid.
         """
+        key = ("inputs",) + tuple(ref.encode() for ref in sorted(inputs))
+        return self._memoised(key, lambda: self._objects_with_inputs_live(inputs))
+
+    def _objects_with_inputs_live(
+        self, inputs: set[ObjectRef]
+    ) -> set[tuple[ObjectRef, str]]:
         ordered = sorted(inputs)
         sites = self._query_sites()
         tasks: list[tuple[str, Callable[[], list[tuple[ObjectRef, str]]]]] = []
@@ -645,6 +762,18 @@ class SimpleDBEngine(_Metered):
 # ---------------------------------------------------------------------------
 # Shared closure helpers (also used by the scan engine)
 # ---------------------------------------------------------------------------
+
+def _memo_nbytes(value) -> int:
+    """Node-memory estimate for a memoised scatter-phase result — a set
+    of :class:`ObjectRef` (phase 1) or ``(ref, kind)`` pairs (matches)."""
+    total = 0
+    for element in value:
+        if isinstance(element, tuple):
+            ref, kind = element
+            total += len(ref.encode()) + len(kind)
+        else:
+            total += len(element.encode())
+    return total
 
 def _direct_outputs(bundles: list[ProvenanceBundle], program: str) -> set[ObjectRef]:
     """Files whose inputs include a process instance of ``program``."""

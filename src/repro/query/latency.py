@@ -53,6 +53,11 @@ DEFAULT_RTT: Mapping[tuple[str, str], float] = {
     (billing.S3, "COPY"): 0.045,
     (billing.S3, "LIST"): 0.060,
     (billing.S3, "DELETE"): 0.025,
+    # The read-cache tier answers from node memory inside the region —
+    # an order of magnitude under any backend round trip, which is the
+    # whole latency argument for fronting hot reads with it.
+    (billing.ELASTICACHE, "Get"): 0.001,
+    (billing.ELASTICACHE, "Put"): 0.001,
 }
 
 

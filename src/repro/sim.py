@@ -60,6 +60,7 @@ class Simulation:
         concurrency: int | None = None,
         ddb_indexes: str | tuple | None = None,
         write_batch: int | None = None,
+        read_cache: str | bool | int | None = None,
         **architecture_kwargs,
     ):
         """``shards``/``placement`` pick the provenance layout: N stores
@@ -74,7 +75,11 @@ class Simulation:
         Scans. ``write_batch`` sets the client coalescer's and commit
         daemon's group-commit width (default 1 — the paper's
         one-request-per-item path — or the ``REPRO_WRITE_BATCH``
-        environment override)."""
+        environment override). ``read_cache`` enables the
+        ElastiCache-style read-cache tier fronting the provenance
+        backends (``"on"``, a spec like ``"capacity=65536"``, or the
+        ``REPRO_READ_CACHE`` environment override — default off,
+        byte-identical on the meter)."""
         if architecture not in _FACTORIES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -86,6 +91,7 @@ class Simulation:
             seed=seed,
             consistency=consistency or ConsistencyConfig.strong(),
             ddb_indexes=ddb_indexes,
+            read_cache=read_cache,
         )
         retry = RetryPolicy(
             attempts=retry_attempts,

@@ -55,9 +55,16 @@ def trace():
 
 @pytest.fixture(scope="module")
 def loaded_sims(trace):
+    # read_cache pinned off: these tests pin exact backend-request
+    # accounting across repeated queries on shared sims — a memo hit
+    # would (correctly) answer later runs with zero backend waves.
+    # The cache's own accounting has dedicated tests.
     sims = {}
     for shards in SHARD_COUNTS:
-        sim = Simulation(architecture="s3+simpledb", seed=7, shards=shards)
+        sim = Simulation(
+            architecture="s3+simpledb", seed=7, shards=shards,
+            read_cache="off",
+        )
         sim.store_events(trace, collect=False)
         sims[shards] = sim
     return sims
