@@ -6,6 +6,12 @@
 #   make bench-smoke  quick benchmark pass at a reduced live scale
 #                     (BENCH_SMOKE_FILES picks the set — CI runs the same)
 #   make bench        full benchmark suite (regenerates benchmarks/results/)
+#   make bench-matrix workload × architecture compare sweep (`repro matrix
+#                     --quick`): skewed/bursty/deep/uniform workloads over
+#                     layout/placement/knob cells, R seeded reps per cell,
+#                     median + bootstrap CI, trace-replay honesty check;
+#                     writes benchmarks/results/matrix.{json,md}. Full grid:
+#                     `PYTHONPATH=src python -m repro matrix`
 #   make bench-check  perf-regression gate: metered Q1/Q2/Q3 totals vs
 #                     benchmarks/baselines.json (rebaseline with
 #                     `PYTHONPATH=src python benchmarks/check_baselines.py --write`)
@@ -97,7 +103,7 @@ BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='
 # smoke stay in sync — extend this list as new benchmarks land).
 BENCH_SMOKE_FILES = bench_sharding_scaleout.py bench_concurrent_gather.py \
 	bench_multibackend.py bench_migration_live.py bench_table3_query.py \
-	bench_group_commit.py bench_read_cache.py
+	bench_group_commit.py bench_read_cache.py bench_workload_matrix.py
 
 # The live-migration suites alone (fleet writing while a layout
 # migration runs) — what the CI live-migration job executes.
@@ -106,7 +112,7 @@ MIGRATION_TEST_FILES = tests/unit/test_migration_handle.py \
 	tests/properties/test_prop_migration.py \
 	tests/integration/test_fleet_live_migration.py
 
-.PHONY: test test-fast test-migration bench bench-smoke bench-check lint lint-prov
+.PHONY: test test-fast test-migration bench bench-smoke bench-matrix bench-check lint lint-prov
 
 test:
 	HYPOTHESIS_PROFILE=ci $(PYTEST) -x -q
@@ -122,6 +128,9 @@ bench-smoke:
 
 bench:
 	$(BENCH) -q
+
+bench-matrix:
+	PYTHONPATH=src $(PYTHON) -m repro matrix --quick --out benchmarks/results
 
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/check_baselines.py

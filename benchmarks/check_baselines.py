@@ -32,7 +32,10 @@ ElastiCache-tier contract with the knob held both ways: the ``off``
 rows are the byte-identity sentinel (zero ``elasticache`` operations,
 backend totals identical to the uncached path), and the ``on`` rows
 freeze the headline collapse — a repeated Q2/Q3 answers from memoised
-ancestry closures with zero backend operations.
+ancestry closures with zero backend operations. The ``matrix/*`` keys
+pin the ``repro matrix`` quick grid — the new skewed/deep generators'
+event streams, the runner's metered totals per cell, and the trace
+codec's replay identity (``replay_ok`` = 1).
 
 The workload and queries are fully deterministic (seeded RNG, MD5 shard
 routing, strong consistency), so totals are exact integers — comparison
@@ -102,6 +105,35 @@ def measure() -> dict[str, int]:
     totals.update(measure_migration(events))
     totals.update(measure_group_commit(events))
     totals.update(measure_read_cache(events))
+    totals.update(measure_matrix())
+    return totals
+
+
+def measure_matrix() -> dict[str, int]:
+    """Matrix-runner totals over the reduced CI grid (``matrix/*`` keys).
+
+    One repetition of the ``--quick`` grid (Zipfian fleet + deep
+    lineage × sdb-1 / sdb-4-cache) pins the new generators' event
+    streams and the runner's load/query/probe request totals. The
+    ``replay_ok`` rows freeze the codec honesty check: repetition 0
+    serialised through the JSONL trace format must replay to a
+    byte-identical meter (1 = held).
+    """
+    from repro.bench.matrix import quick_cells, quick_workloads, run_matrix
+
+    report = run_matrix(
+        quick_workloads(scale=0.5), quick_cells(), reps=1, seed=SEED, probe_reads=16
+    )
+    totals: dict[str, int] = {}
+    metrics = (
+        "events", "load_ops", "load_bytes_in",
+        "q2_ops", "q2_results", "q3_ops", "q3_results", "probe_ops",
+    )
+    for entry in report.grid:
+        prefix = f"matrix/{entry.workload}/{entry.cell}"
+        totals[f"{prefix}/replay_ok"] = int(bool(entry.replay_ok))
+        for metric in metrics:
+            totals[f"{prefix}/{metric}"] = int(entry.stats[metric]["median"])
     return totals
 
 

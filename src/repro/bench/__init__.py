@@ -1,0 +1,24 @@
+"""Statistical benchmark harnesses (the `repro matrix` machinery).
+
+Distinct from the ``benchmarks/`` pytest tree: this package is library
+code — importable, deterministic, seeded — that the CLI, the benchmark
+suite, and the baseline gate all drive.
+"""
+
+from repro.bench.matrix import (
+    MatrixCell,
+    MatrixReport,
+    WorkloadSpec,
+    default_cells,
+    default_workloads,
+    run_matrix,
+)
+
+__all__ = [
+    "MatrixCell",
+    "MatrixReport",
+    "WorkloadSpec",
+    "default_cells",
+    "default_workloads",
+    "run_matrix",
+]

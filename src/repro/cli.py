@@ -7,6 +7,7 @@
     python -m repro costs --scale 1.0     # USD bill per architecture
     python -m repro advise --scale 0.3    # §7 extension: cloud hints
     python -m repro demo                  # 10-second end-to-end tour
+    python -m repro matrix --quick        # workload x architecture sweep
 
 All subcommands are offline and deterministic (--seed).
 """
@@ -264,6 +265,61 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.matrix import (
+        default_cells,
+        default_workloads,
+        quick_cells,
+        quick_workloads,
+        run_matrix,
+    )
+
+    if args.quick:
+        specs, cells = quick_workloads(args.scale), quick_cells()
+    else:
+        specs, cells = default_workloads(args.scale), default_cells()
+    if args.workloads:
+        wanted = set(args.workloads.split(","))
+        unknown = wanted - {spec.key for spec in specs}
+        if unknown:
+            print(f"unknown workload key(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        specs = [spec for spec in specs if spec.key in wanted]
+    if args.cells:
+        wanted = set(args.cells.split(","))
+        unknown = wanted - {cell.key for cell in cells}
+        if unknown:
+            print(f"unknown cell key(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        cells = [cell for cell in cells if cell.key in wanted]
+
+    report = run_matrix(
+        specs,
+        cells,
+        reps=args.reps,
+        seed=args.seed,
+        probe_reads=args.probe_reads,
+        check_replay=not args.no_replay_check,
+    )
+    print(report.to_markdown())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        json_path = os.path.join(args.out, "matrix.json")
+        md_path = os.path.join(args.out, "matrix.md")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        with open(md_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown())
+        print(f"wrote {json_path} and {md_path}")
+    if any(entry.replay_ok is False for entry in report.grid):
+        print("FAIL: a cell's trace replay drifted from its capture meter",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _positive_int(noun: str):
     """An argparse type validating an int >= 1, naming ``noun`` on error."""
 
@@ -373,6 +429,48 @@ def build_parser() -> argparse.ArgumentParser:
         "Default is the REPRO_MIGRATION environment spec or no migration",
     )
     demo.set_defaults(handler=cmd_demo)
+
+    matrix = commands.add_parser(
+        "matrix",
+        help="workload × architecture compare matrix (statistical sweep)",
+    )
+    matrix.add_argument(
+        "--reps", type=_positive_int("repetition count"), default=3,
+        help="seeded repetitions per cell (median + bootstrap CI; default 3)",
+    )
+    matrix.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale multiplier applied to every axis entry",
+    )
+    matrix.add_argument(
+        "--quick", action="store_true",
+        help="the reduced 2x2 CI smoke grid (one Zipfian + one "
+        "deep-lineage workload, one plain + one cached cell)",
+    )
+    matrix.add_argument(
+        "--probe-reads", type=_positive_int("probe read count"), default=40,
+        metavar="N",
+        help="Q1 point reads per repetition, drawn from the workload's "
+        "own read distribution (what the cache hit-rate column measures)",
+    )
+    matrix.add_argument(
+        "--workloads", default=None, metavar="KEYS",
+        help="comma-separated workload keys to keep (default: all)",
+    )
+    matrix.add_argument(
+        "--cells", default=None, metavar="KEYS",
+        help="comma-separated cell keys to keep (default: all)",
+    )
+    matrix.add_argument(
+        "--out", default="benchmarks/results", metavar="DIR",
+        help="directory for matrix.json + matrix.md ('' to skip writing)",
+    )
+    matrix.add_argument(
+        "--no-replay-check", action="store_true",
+        help="skip serialising rep 0 of each cell through the JSONL "
+        "trace codec and replaying it against the captured meter",
+    )
+    matrix.set_defaults(handler=cmd_matrix)
 
     export = commands.add_parser(
         "export", help="provenance as PROV-JSON or lineage DOT"

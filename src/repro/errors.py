@@ -231,6 +231,25 @@ class CacheMiss(PassError):
 
 
 # ---------------------------------------------------------------------------
+# Workload trace files
+# ---------------------------------------------------------------------------
+
+class TraceFormatError(ReproError):
+    """A provenance trace file failed validation and was rejected whole.
+
+    Raised by the JSONL trace codec for malformed lines, unsupported
+    format versions, and truncated files. Loading is all-or-nothing: a
+    trace that raises this error yields no events, so a replay can never
+    apply a prefix of a corrupt capture.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        where = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{where}")
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
 # Provenance architectures
 # ---------------------------------------------------------------------------
 

@@ -69,6 +69,7 @@ class ClientFleet:
         ddb_indexes: str | tuple | None = None,
         write_batch: int | None = None,
         read_cache: str | bool | int | None = None,
+        record_trace: bool = False,
     ):
         """``ddb_indexes`` declares GSIs on DynamoDB-placed provenance
         shards (spec string like ``"name,input"``; default the
@@ -79,7 +80,11 @@ class ClientFleet:
         enables the account-wide ElastiCache-style read-cache tier
         (``"on"``/spec/``REPRO_READ_CACHE`` override; default off) —
         one authority shared by all clients, so any client's write
-        invalidates what another client cached."""
+        invalidates what another client cached. ``record_trace`` makes
+        the round-robin drain record its op log — ``(client, event)`` in
+        exact store order — in :attr:`trace`, ready for
+        :func:`repro.workloads.trace.dump_trace` and byte-identical
+        replay via :meth:`replay_trace`."""
         if architecture not in _FACTORIES:
             raise ValueError(f"unknown architecture {architecture!r}")
         self.architecture = architecture
@@ -104,6 +109,13 @@ class ClientFleet:
         self.concurrency = concurrency
         #: Write-coalescer / daemon group-commit width per client.
         self.write_batch = write_batch
+        #: When ``record_trace``: the fleet's op log — ``(client_name,
+        #: event)`` in the exact order the round-robin drain stored
+        #: them. Only *successful* stores are recorded (a crashed
+        #: attempt is re-recorded when its retry lands), so a replay of
+        #: a fault-free run reproduces the meter byte for byte.
+        self.record_trace = record_trace
+        self.trace: list[tuple[str, FlushEvent]] = []
         self.clients: dict[str, FleetClient] = {}
         for index in range(n_clients):
             self._spawn(f"client-{index}")
@@ -184,6 +196,8 @@ class ClientFleet:
                 client.pending.pop(0)
                 client.stored += 1
                 stored += 1
+                if self.record_trace:
+                    self.trace.append((name, event))
         return stored
 
     def run_round_robin(self, batch: int = 5, crash_schedule: dict | None = None) -> int:
@@ -206,6 +220,51 @@ class ClientFleet:
                 break
         self.settle()
         return total
+
+    # -- trace capture / replay --------------------------------------------------
+
+    def trace_document(self):
+        """The recorded op log as a serialisable
+        :class:`~repro.workloads.trace.TraceDocument` (JSONL-ready)."""
+        from repro.workloads.trace import TraceDocument  # late: keep fleet import-light
+
+        return TraceDocument(
+            workload=f"fleet:{self.architecture}",
+            events=[event for _, event in self.trace],
+            clients=[name for name, _ in self.trace],
+        )
+
+    def replay_trace(self, trace) -> int:
+        """Re-execute a captured fleet op log, store for store.
+
+        ``trace`` is either a list of ``(client_name, event)`` pairs
+        (the :attr:`trace` of a recording fleet) or a loaded
+        :class:`~repro.workloads.trace.TraceDocument` whose ``clients``
+        column was captured. Each event is stored through the named
+        client in the recorded order, then the cloud settles — so a
+        fresh fleet with the same constructor arguments as the capture
+        run ends with a byte-identical meter (fault-free runs; a crash's
+        partial protocol spend is not part of the op log).
+        """
+        if hasattr(trace, "events") and hasattr(trace, "clients"):
+            pairs = list(zip(trace.clients, trace.events))
+        else:
+            pairs = list(trace)
+        count = 0
+        for name, event in pairs:
+            if name is None or name not in self.clients:
+                raise ValueError(
+                    f"trace names unknown client {name!r}; replay needs a fleet "
+                    f"shaped like the capture run (clients: {sorted(self.clients)})"
+                )
+            client = self.clients[name]
+            client.store.store(event)
+            client.stored += 1
+            count += 1
+            if self.record_trace:
+                self.trace.append((name, event))
+        self.settle()
+        return count
 
     # -- live layout migration ---------------------------------------------------
 

@@ -10,13 +10,30 @@ environments) and are calibrated so the combined paper-scale trace lands
 near the paper's headline statistics: ≈31,180 stored objects, ≈1.27 GB
 of raw data, provenance ≈9–10% of the data in S3 format, and ≈0.8
 records >1 KB per object.
+
+Beyond the paper's uniform batch jobs, the fleet-traffic matrix adds
+skewed and bursty shapes — :class:`ZipfianFleetWorkload` (multi-tenant
+hot keys), :class:`DiurnalBurstWorkload` (day-shaped arrival rates),
+:class:`DeepLineageWorkload` (10k-step Q3 chains) — plus
+:class:`TraceReplayWorkload`, which re-executes any captured run from
+its versioned JSONL trace byte-identically.
 """
 
 from repro.workloads.base import TraceStats, Workload, WorkloadResult, collect_stats
 from repro.workloads.blast import BlastWorkload
 from repro.workloads.combined import CombinedWorkload, PAPER_SCALE, paper_dataset
+from repro.workloads.deep import DeepLineageWorkload
+from repro.workloads.fleetgen import DiurnalBurstWorkload, ZipfianFleetWorkload
 from repro.workloads.linux_compile import LinuxCompileWorkload
 from repro.workloads.provchallenge import ProvenanceChallengeWorkload
+from repro.workloads.trace import (
+    TraceDocument,
+    TraceReplayWorkload,
+    dump_trace,
+    load_trace,
+    read_trace,
+    write_trace,
+)
 
 __all__ = [
     "Workload",
@@ -29,4 +46,13 @@ __all__ = [
     "CombinedWorkload",
     "PAPER_SCALE",
     "paper_dataset",
+    "ZipfianFleetWorkload",
+    "DiurnalBurstWorkload",
+    "DeepLineageWorkload",
+    "TraceReplayWorkload",
+    "TraceDocument",
+    "dump_trace",
+    "load_trace",
+    "read_trace",
+    "write_trace",
 ]

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.blob import SyntheticBlob
 from repro.passlib.capture import PassSystem
-from repro.passlib.records import FlushEvent
+from repro.passlib.records import FlushEvent, ObjectRef
 from repro.passlib.serializer import to_s3_metadata, to_simpledb_items
 from repro.units import KB
 
@@ -29,13 +29,63 @@ class Workload:
     #: Short name recorded in every generated object's provenance.
     name: str = "workload"
 
+    #: True for workloads whose events carry inter-arrival delays
+    #: (see :meth:`iter_timed_events`); :meth:`Simulation.run_workload`
+    #: advances the simulated clock between stores for these.
+    timed: bool = False
+
+    @property
+    def instance_salt(self) -> str:
+        """Deterministic identity that disambiguates RNG streams.
+
+        Two workload *classes* can share a ``name`` (a replay of a blast
+        trace, a subclassed variant); seeding by name alone would hand
+        them the same stream. The class qualname is stable across runs
+        (unlike ``id()``, which PL003 forbids), so same-named instances
+        of different classes always derive distinct streams while two
+        runs of the same program stay byte-identical.
+        """
+        return type(self).__qualname__
+
+    def seed_key(self, seed: int) -> str:
+        """The string that seeds this instance's top-level RNG stream."""
+        return f"{self.name}#{self.instance_salt}:{seed}"
+
     def iter_events(self, rng: random.Random, scale: float = 1.0) -> Iterator[FlushEvent]:
         """Yield flush events in causal order. Subclasses implement."""
         raise NotImplementedError
 
+    def iter_timed_events(
+        self, rng: random.Random, scale: float = 1.0
+    ) -> Iterator[tuple[float, FlushEvent]]:
+        """Yield ``(inter_arrival_seconds, event)`` pairs.
+
+        The default stream arrives back-to-back (delay 0.0 — the
+        paper's batch model). Bursty workloads override this with a
+        rate envelope; set ``timed = True`` so the simulation takes the
+        clock-advancing store path.
+        """
+        for event in self.iter_events(rng, scale):
+            yield 0.0, event
+
+    def sample_read_refs(
+        self, rng: random.Random, refs: Sequence[ObjectRef], n: int
+    ) -> list[ObjectRef]:
+        """Draw ``n`` point-read targets from ``refs`` (the stored files).
+
+        The base distribution is uniform — the §5 workloads have no
+        preferential read traffic. Skewed workloads override this so
+        read-side benchmarks (cache hit rates) see the same hot keys the
+        write side produced.
+        """
+        pool = sorted(refs)
+        if not pool:
+            return []
+        return [pool[rng.randrange(len(pool))] for _ in range(n)]
+
     def generate(self, seed: int = 0, scale: float = 1.0) -> "WorkloadResult":
         """Materialise the trace (convenient for tests and examples)."""
-        rng = random.Random(f"{self.name}:{seed}")
+        rng = random.Random(self.seed_key(seed))
         events = list(self.iter_events(rng, scale))
         return WorkloadResult(name=self.name, events=events)
 

@@ -61,8 +61,22 @@ class CombinedWorkload(base.Workload):
         )
 
     def iter_events(self, rng: random.Random, scale: float = 1.0) -> Iterator[FlushEvent]:
+        seen: dict[str, int] = {}
         for part in self.parts:
-            part_rng = random.Random(f"{part.name}:{rng.random():.17f}")
+            occurrence = seen.get(part.name, 0)
+            seen[part.name] = occurrence + 1
+            # First occurrence of a name keeps the historical salt, so
+            # the calibrated paper-scale trace (and every committed
+            # baseline) stays byte-identical. Repeats of a name are
+            # disambiguated by the part's deterministic instance salt
+            # plus its occurrence index — without this, two same-named
+            # parts whose generators ignore some draws could collapse
+            # onto correlated streams.
+            if occurrence == 0:
+                salt = part.name
+            else:
+                salt = f"{part.name}#{part.instance_salt}#{occurrence}"
+            part_rng = random.Random(f"{salt}:{rng.random():.17f}")
             yield from part.iter_events(part_rng, scale)
 
 

@@ -1,0 +1,67 @@
+"""Deep-lineage chains: the Q2/Q3 BFS depth stress.
+
+The §5 workloads are wide and shallow — thousands of objects whose
+ancestry is a handful of hops. Real pipelines iterate: checkpoint in,
+checkpoint out, ten thousand times. :class:`DeepLineageWorkload`
+produces exactly that shape — one (or a few) linear chains where step
+``i`` reads the output of step ``i-1`` — so a descendant query from the
+chain head must walk the full depth, turning Q2/Q3 breadth-first
+traversal cost from a constant into the dominant term.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.passlib.records import FlushEvent
+from repro.workloads import base
+
+
+class DeepLineageWorkload(base.Workload):
+    """Linear read→write chains, ``chain_length`` steps deep at scale 1."""
+
+    name = "deep-lineage"
+
+    def __init__(
+        self,
+        chain_length: int = 10_000,
+        n_chains: int = 1,
+        step_bytes: int = 4_096,
+    ):
+        if chain_length < 1:
+            raise ValueError(f"chains need at least one step, got {chain_length}")
+        self.chain_length = chain_length
+        self.n_chains = n_chains
+        self.step_bytes = step_bytes
+
+    def iter_events(self, rng: random.Random, scale: float = 1.0) -> Iterator[FlushEvent]:
+        pas = base.make_system(self.name)
+        steps = max(1, int(self.chain_length * scale))
+        for chain in range(max(1, self.n_chains)):
+            prev = f"deep/c{chain:02d}/s000000.dat"
+            pas.stage_input(prev, base.content(rng, self.step_bytes, prev))
+            yield from pas.drain_flushes()
+            for step in range(1, steps + 1):
+                out = f"deep/c{chain:02d}/s{step:06d}.dat"
+                with pas.process(
+                    "step",
+                    argv=f"--chain {chain} --iteration {step}",
+                    env=base.synth_env(rng, base.env_size(rng, big_fraction=0.1)),
+                ) as proc:
+                    proc.read(prev)
+                    proc.write(
+                        out,
+                        base.content(
+                            rng,
+                            base.lognormal_size(rng, self.step_bytes, 0.3),
+                            out,
+                        ),
+                    )
+                    proc.close(out)
+                yield from pas.drain_flushes()
+                prev = out
+                # Long chains would otherwise retain the whole history in
+                # the capture layer; release flushed state as we go.
+                if step % 256 == 0:
+                    pas.trim_flushed()

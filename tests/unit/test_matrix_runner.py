@@ -1,0 +1,163 @@
+"""The ``repro.bench.matrix`` sweep: grid shape, statistics, honesty.
+
+The matrix is library code the CLI, the benchmark suite, and the
+baseline gate all drive, so its contract is pinned here: deterministic
+reports, bootstrap CIs that bracket the median, ``replay_ok`` true on
+healthy cells, and the headline comparison — Zipfian read probes hit
+the cache far more than uniform ones on the *same* cell.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.bench import MatrixCell, WorkloadSpec, run_matrix
+from repro.bench.matrix import quick_cells, quick_workloads, summarize
+from repro.cli import main
+from repro.workloads import BlastWorkload, ZipfianFleetWorkload
+
+
+def tiny_grid():
+    return quick_workloads(scale=0.4), quick_cells()
+
+
+# -- statistics --------------------------------------------------------------
+
+
+def test_summarize_brackets_the_median():
+    stats = summarize([3.0, 1.0, 2.0, 5.0, 4.0], random.Random("ci"))
+    assert stats["min"] == 1.0
+    assert stats["median"] == 3.0
+    assert 1.0 <= stats["ci_low"] <= stats["median"] <= stats["ci_high"] <= 5.0
+    assert stats["values"] == [3.0, 1.0, 2.0, 5.0, 4.0]
+
+
+def test_summarize_is_deterministic():
+    values = [7.0, 9.0, 8.0, 11.0]
+    assert summarize(values, random.Random("x")) == summarize(
+        values, random.Random("x")
+    )
+
+
+def test_summarize_rejects_zero_repetitions():
+    with pytest.raises(ValueError):
+        summarize([], random.Random("x"))
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def test_matrix_covers_the_grid_and_replays_byte_identically():
+    workloads, cells = tiny_grid()
+    report = run_matrix(workloads, cells, reps=2, seed=3, probe_reads=12)
+
+    assert len(report.grid) == len(workloads) * len(cells)
+    for entry in report.grid:
+        assert entry.replay_ok is True
+        for metric in ("events", "load_ops", "load_usd", "q2_ops", "q3_ops",
+                       "probe_ops", "q2_latency", "q3_latency"):
+            stats = entry.stats[metric]
+            assert stats["min"] <= stats["median"]
+            assert stats["ci_low"] <= stats["ci_high"]
+            assert len(stats["values"]) == 2
+
+    cached = report.cell("zipfian", "sdb-4-cache")
+    assert "probe_hit_rate" in cached.stats
+    uncached = report.cell("zipfian", "sdb-1")
+    assert "probe_hit_rate" not in uncached.stats
+    with pytest.raises(KeyError):
+        report.cell("zipfian", "no-such-cell")
+
+
+def test_matrix_report_is_deterministic():
+    workloads, cells = tiny_grid()
+    report_a = run_matrix(workloads, cells, reps=2, seed=3, probe_reads=12)
+    random.seed("adversarial interleaving")
+    random.random()
+    workloads, cells = tiny_grid()
+    report_b = run_matrix(workloads, cells, reps=2, seed=3, probe_reads=12)
+    assert report_a.to_json() == report_b.to_json()
+
+
+def test_matrix_rejects_zero_reps():
+    workloads, cells = tiny_grid()
+    with pytest.raises(ValueError):
+        run_matrix(workloads, cells, reps=0)
+
+
+def test_markdown_report_renders_every_cell():
+    workloads, cells = tiny_grid()
+    report = run_matrix(workloads, cells, reps=1, seed=3, probe_reads=8)
+    markdown = report.to_markdown()
+    assert "byte-identical" in markdown
+    for spec in workloads:
+        assert spec.key in markdown
+    for cell in cells:
+        assert cell.key in markdown
+
+
+def test_zipfian_hit_rate_far_exceeds_uniform():
+    """The acceptance headline: skew is what pays for the cache."""
+    cells = [MatrixCell(key="cache", shards=2, read_cache="on")]
+    workloads = [
+        WorkloadSpec(
+            key="zipfian",
+            workload=ZipfianFleetWorkload(
+                n_tenants=6, keys_per_tenant=24, n_ops=120, s=1.3
+            ),
+            program="ingest",
+        ),
+        WorkloadSpec(
+            key="uniform",
+            workload=BlastWorkload(n_runs=3, queries_per_run=16),
+            program="blast",
+        ),
+    ]
+    report = run_matrix(
+        workloads, cells, reps=1, seed=0, probe_reads=40, check_replay=False
+    )
+    zipf_hit = report.cell("zipfian", "cache").stats["probe_hit_rate"]["median"]
+    uniform_hit = report.cell("uniform", "cache").stats["probe_hit_rate"]["median"]
+    assert zipf_hit > uniform_hit + 0.15
+
+
+# -- the CLI -----------------------------------------------------------------
+
+
+def test_cli_matrix_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "results"
+    code = main(
+        [
+            "matrix",
+            "--quick",
+            "--scale",
+            "0.4",
+            "--reps",
+            "1",
+            "--probe-reads",
+            "8",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert "| workload | cell |" in capsys.readouterr().out
+    payload = json.loads((out / "matrix.json").read_text())
+    assert payload["reps"] == 1
+    assert {entry["workload"] for entry in payload["grid"]} == {
+        "zipfian",
+        "deep-lineage",
+    }
+    assert all(entry["replay_ok"] for entry in payload["grid"])
+    assert (out / "matrix.md").read_text().startswith("# Workload × architecture")
+
+
+def test_cli_matrix_rejects_unknown_axis_keys(tmp_path):
+    code = main(
+        ["matrix", "--quick", "--cells", "no-such-cell", "--out", str(tmp_path)]
+    )
+    assert code == 2
+    assert not (tmp_path / "matrix.json").exists()

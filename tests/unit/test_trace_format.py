@@ -1,0 +1,211 @@
+"""The JSONL trace codec: canonical round-trips, all-or-nothing loads.
+
+A corrupt capture must never be partially applied: every defect —
+truncation, padding, version skew, malformed lines, type confusion —
+raises :class:`~repro.errors.TraceFormatError` before a single event is
+returned, and no other exception type may escape the codec.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.workloads import (
+    TraceDocument,
+    TraceReplayWorkload,
+    ZipfianFleetWorkload,
+    dump_trace,
+    load_trace,
+)
+
+
+def sample_events(seed: int = 0, n_ops: int = 10):
+    workload = ZipfianFleetWorkload(n_tenants=2, keys_per_tenant=4, n_ops=n_ops)
+    return list(workload.iter_events(random.Random(workload.seed_key(seed))))
+
+
+# -- round trips -------------------------------------------------------------
+
+
+def test_events_round_trip():
+    events = sample_events()
+    document = load_trace(dump_trace(events, workload="unit"))
+    assert document.workload == "unit"
+    assert document.events == events
+    assert document.clients == [None] * len(events)
+    assert document.delays == [None] * len(events)
+
+
+def test_columns_round_trip_and_text_is_canonical():
+    events = sample_events()
+    clients = [f"c{i % 3}" for i in range(len(events))]
+    delays = [0.25 * i for i in range(len(events))]
+    text = dump_trace(events, workload="fleet", clients=clients, delays=delays)
+    document = load_trace(text)
+    assert document.clients == clients
+    assert document.delays == delays
+    # dump(load(text)) == text: the format is canonical bytes.
+    assert document.dumps() == text
+
+
+def test_dump_rejects_mismatched_columns():
+    events = sample_events(n_ops=4)
+    with pytest.raises(ValueError):
+        dump_trace(events, clients=["only-one"])
+    with pytest.raises(ValueError):
+        dump_trace(events, delays=[0.0])
+
+
+# -- typed rejection of malformed documents ---------------------------------
+
+
+def _mutate_line(text: str, index: int, fn) -> str:
+    lines = text.splitlines()
+    obj = json.loads(lines[index])
+    fn(obj)
+    lines[index] = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return "\n".join(lines) + "\n"
+
+
+def _set_header(text: str, **changes) -> str:
+    def fn(header):
+        header.update(changes)
+
+    return _mutate_line(text, 0, fn)
+
+
+def corrupt_documents() -> dict[str, str]:
+    events = sample_events(n_ops=4)
+    text = dump_trace(events, workload="victim")
+    lines = text.splitlines()
+
+    def drop_last(t: str) -> str:
+        return "\n".join(t.splitlines()[:-1]) + "\n"
+
+    cases = {
+        "empty": "",
+        "header-not-json": "not json at all\n" + "\n".join(lines[1:]) + "\n",
+        "wrong-magic": _set_header(text, format="some-other-format"),
+        "version-skew": _set_header(text, version=2),
+        "count-not-int": _set_header(text, events="4"),
+        "count-bool": _set_header(text, events=True),
+        "workload-not-str": _set_header(text, workload=7),
+        "truncated": drop_last(text),
+        "padded": text + lines[-1] + "\n",
+        "event-not-json": "\n".join(lines[:-1] + ["{broken"]) + "\n",
+        "event-not-object": "\n".join(lines[:-1] + ["[1,2,3]"]) + "\n",
+        "event-extra-key": _mutate_line(
+            text, 1, lambda obj: obj.update(surprise=1)
+        ),
+        "event-missing-key": _mutate_line(text, 1, lambda obj: obj.pop("data")),
+        "client-not-str": _mutate_line(text, 1, lambda obj: obj.update(client=9)),
+        "dt-negative": _mutate_line(text, 1, lambda obj: obj.update(dt=-0.5)),
+        "dt-bool": _mutate_line(text, 1, lambda obj: obj.update(dt=True)),
+        "ref-version-bool": _mutate_line(
+            text, 1, lambda obj: obj["bundle"].update(subject=["x", True])
+        ),
+        "bundle-bad-keys": _mutate_line(
+            text, 1, lambda obj: obj["bundle"].pop("kind")
+        ),
+        "record-bad-kind": _mutate_line(
+            text,
+            2,
+            lambda obj: obj["bundle"]["records"].append(["attr", "int", 3]),
+        ),
+        "blob-bad-base64": _mutate_line(
+            text, 1, lambda obj: obj.update(data=["bytes", "!!not base64!!"])
+        ),
+        "blob-unknown-kind": _mutate_line(
+            text, 1, lambda obj: obj.update(data=["carved", "x", 3])
+        ),
+        "synthetic-size-bool": _mutate_line(
+            text, 1, lambda obj: obj.update(data=["synthetic", "s", True])
+        ),
+    }
+    return cases
+
+
+@pytest.mark.parametrize("label", sorted(corrupt_documents()))
+def test_malformed_documents_raise_typed_error(label):
+    with pytest.raises(TraceFormatError):
+        load_trace(corrupt_documents()[label])
+
+
+def test_version_skew_message_names_the_version():
+    with pytest.raises(TraceFormatError, match="unsupported trace version"):
+        load_trace(corrupt_documents()["version-skew"])
+
+
+def test_errors_carry_the_offending_line_number():
+    text = dump_trace(sample_events(n_ops=4))
+    broken = _mutate_line(text, 3, lambda obj: obj.update(dt=-1))
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_trace(broken)
+    # Line numbers are 1-based file positions: header is 1, events 2..N+1.
+    assert excinfo.value.line == 4
+    assert "(line 4)" in str(excinfo.value)
+
+
+def test_rejection_is_never_partial():
+    """A defective file yields no workload and no events at all."""
+    truncated = corrupt_documents()["truncated"]
+    with pytest.raises(TraceFormatError):
+        TraceReplayWorkload.from_text(truncated)
+
+
+# -- fuzzing -----------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_corrupted_traces_reject_cleanly_or_load_whole(data):
+    """Random structural damage either raises TraceFormatError or leaves
+    a document that is *entirely* intact — never a partial load, never a
+    foreign exception type."""
+    events = sample_events(n_ops=3)
+    text = dump_trace(events, workload="fuzz")
+    lines = text.splitlines()
+    mode = data.draw(
+        st.sampled_from(["truncate", "drop-line", "dup-line", "splice", "insert"])
+    )
+    if mode == "truncate":
+        cut = data.draw(st.integers(min_value=0, max_value=len(text) - 1))
+        corrupted = text[:cut]
+    elif mode == "drop-line":
+        index = data.draw(st.integers(min_value=0, max_value=len(lines) - 1))
+        corrupted = "\n".join(lines[:index] + lines[index + 1 :]) + "\n"
+    elif mode == "dup-line":
+        index = data.draw(st.integers(min_value=0, max_value=len(lines) - 1))
+        corrupted = "\n".join(lines + [lines[index]]) + "\n"
+    elif mode == "splice":
+        at = data.draw(st.integers(min_value=0, max_value=len(text) - 1))
+        char = data.draw(st.characters(min_codepoint=32, max_codepoint=126))
+        corrupted = text[:at] + char + text[at + 1 :]
+    else:  # insert
+        at = data.draw(st.integers(min_value=0, max_value=len(text)))
+        char = data.draw(st.characters(min_codepoint=32, max_codepoint=126))
+        corrupted = text[:at] + char + text[at:]
+
+    try:
+        document = load_trace(corrupted)
+    except TraceFormatError:
+        return
+    declared = json.loads(corrupted.splitlines()[0])["events"]
+    assert len(document.events) == declared
+    assert len(document.clients) == declared
+    assert len(document.delays) == declared
+
+
+@settings(max_examples=40, deadline=None)
+@given(blob=st.text(max_size=200))
+def test_arbitrary_text_never_escapes_the_typed_error(blob):
+    try:
+        document = load_trace(blob)
+    except TraceFormatError:
+        return
+    assert isinstance(document, TraceDocument)
