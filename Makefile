@@ -83,6 +83,23 @@
 #                                bench_read_cache.py quantifies the repeat
 #                                collapse; the read-cache/* bench-gate keys
 #                                pin it both ways.
+#   REPRO_QUERY_PLANNER=MODE     access-path planning for the query engines
+#                                (also `repro demo --planner MODE`):
+#                                off (default) = the historical first-fit
+#                                dispatch, byte-identical on the meter;
+#                                first-fit = same paths, but every planned
+#                                phase carries a predicted_cost next to the
+#                                metered spend (the honesty baseline);
+#                                cost = cheapest estimated path from
+#                                PriceBook rates + incrementally-maintained
+#                                DescribeTable/DomainMetadata statistics —
+#                                composite "hash/range" GSIs (e.g.
+#                                "name/nonce+*,type/nonce") then serve
+#                                version-window queries as one range Query
+#                                slice. bench_planner.py pins cost ≤
+#                                first-fit and the prediction error bound;
+#                                the planner/* bench-gate keys freeze both
+#                                regimes.
 #   REPRO_SANITIZE=1             opt-in runtime sanitizer: new_lock() hands
 #                                out order-recording lock shims that check
 #                                the documented service -> meter -> leaf
@@ -103,7 +120,8 @@ BENCH = cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -o python_files='
 # smoke stay in sync — extend this list as new benchmarks land).
 BENCH_SMOKE_FILES = bench_sharding_scaleout.py bench_concurrent_gather.py \
 	bench_multibackend.py bench_migration_live.py bench_table3_query.py \
-	bench_group_commit.py bench_read_cache.py bench_workload_matrix.py
+	bench_group_commit.py bench_read_cache.py bench_workload_matrix.py \
+	bench_planner.py
 
 # The live-migration suites alone (fleet writing while a layout
 # migration runs) — what the CI live-migration job executes.

@@ -106,6 +106,91 @@ def measure() -> dict[str, int]:
     totals.update(measure_group_commit(events))
     totals.update(measure_read_cache(events))
     totals.update(measure_matrix())
+    totals.update(measure_planner())
+    return totals
+
+
+def measure_planner() -> dict[str, int]:
+    """Query-planner totals with the knob pinned each way (``planner/*``).
+
+    Runs the two planner rows of the compare matrix (deep lineage and
+    the incremental-compile time-range workload) on the composite-GSI
+    DynamoDB cell under ``planner ∈ {off, first-fit, cost}`` and
+    freezes operations, read units (doubled to stay integral), and
+    metered/predicted spend in nano-USD. The ``off`` rows are the
+    byte-identity sentinel for the default path; ``off_env_identity``
+    additionally pins that an explicit ``"off"`` and an unset knob
+    build meter-identical engines. The ff-vs-cost rows make the
+    planner's contract — never more expensive, strictly cheaper where a
+    range slice beats a whole-partition read — a reviewable diff.
+    """
+    from repro.bench.matrix import Q4_VERSION_RANGE, default_cells, default_workloads
+
+    specs = {s.key: s for s in default_workloads()}
+    cell = next(c for c in default_cells() if c.key == "ddb-planner-cost-4")
+
+    def run(workload_key: str, planner: str | None) -> dict[str, int]:
+        spec = specs[workload_key]
+        rng = spec.rep_rng(SEED, 0)
+        timed = list(spec.workload.iter_timed_events(rng, spec.scale))
+        from repro.sim import Simulation
+
+        sim = Simulation(
+            architecture=cell.architecture, seed=SEED, shards=cell.shards,
+            placement=cell.placement, ddb_indexes=cell.ddb_indexes,
+            planner=planner,
+        )
+        if spec.workload.timed:
+            sim.store_timed_events(timed, collect=False)
+        else:
+            sim.store_events([event for _, event in timed], collect=False)
+        engine = sim.query_engine()
+        before = sim.account.meter.snapshot()
+        q2 = engine.q2_outputs_of(spec.program)
+        q3 = engine.q3_descendants_of(spec.program)
+        q4 = engine.q4_time_range(*Q4_VERSION_RANGE)
+        spent = sim.account.meter.snapshot() - before
+        predicted = [
+            m.predicted_cost for m in (q2, q3, q4) if m.predicted_cost is not None
+        ]
+        return {
+            "q2_ops": q2.operations,
+            "q3_ops": q3.operations,
+            "q4_ops": q4.operations,
+            "q4_results": q4.result_count,
+            "q4_ru_x2": int(q4.usage.read_units() * 2),
+            "metered_nanousd": int(
+                round(sim.account.prices.cost(spent).total * 1e9)
+            ),
+            "predicted_nanousd": (
+                int(round(sum(predicted) * 1e9)) if predicted else 0
+            ),
+        }
+
+    totals: dict[str, int] = {}
+    for workload_key in ("deep-lineage", "time-range"):
+        rows = {mode: run(workload_key, mode) for mode in ("off", "first-fit", "cost")}
+        # An unset knob (None → environment → off) must meter exactly
+        # like the explicit "off" — the sentinel that keeps the default
+        # path byte-identical no matter how the knob is plumbed. The
+        # environment is cleared for the probe so a CI matrix pass with
+        # REPRO_QUERY_PLANNER exported gates the same totals.
+        import os
+
+        from repro.query.planner import PLANNER_ENV
+
+        saved = os.environ.pop(PLANNER_ENV, None)
+        try:
+            rows_default = run(workload_key, None)
+        finally:
+            if saved is not None:
+                os.environ[PLANNER_ENV] = saved
+        totals[f"planner/{workload_key}/off_env_identity"] = int(
+            rows_default == rows["off"]
+        )
+        for mode, row in rows.items():
+            for metric, value in row.items():
+                totals[f"planner/{workload_key}/{mode}/{metric}"] = value
     return totals
 
 

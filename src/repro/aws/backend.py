@@ -51,6 +51,7 @@ Backend *kinds* are the short names placement maps use: ``"sdb"`` and
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Iterator, Protocol
 
 from repro.aws.dynamo import DynamoDBService, IndexSpec
@@ -118,6 +119,14 @@ def parse_index_specs(
       provisions the index's *own* capacity, so its maintenance writes
       (and Query reads, with ``:RCU``) throttle independently of the
       base table's window;
+    * ``"name/nonce+*"`` / ``"type/nonce"`` — a ``hash/range`` key pair
+      declares a **composite** index (DynamoDB's hash+range schema):
+      entries sort by the range attribute within each hash partition
+      and ``query_index`` can serve range conditions
+      (``between``/``>=``/``<=``) over one contiguous slice. Composite
+      indexes are sparse on *both* attributes, so a query phase may only
+      be served from one when its predicate constrains the range
+      attribute (see :meth:`DynamoBackend._first_fit`);
     * a sequence of ready :class:`IndexSpec` objects (passed through).
 
     >>> [s.name for s in parse_index_specs("name,input")]
@@ -152,12 +161,16 @@ def parse_index_specs(
         key, *include = [piece.strip() for piece in part.split("+")]
         if not key or not all(include):
             raise ValueError(f"bad DynamoDB index spec {spec!r}")
+        key, slash, range_attr = key.partition("/")
+        if slash and not (key and range_attr):
+            raise ValueError(f"bad DynamoDB index spec {spec!r}")
         project_all = "*" in include
         include = tuple(piece for piece in include if piece != "*")
         specs.append(
             IndexSpec(
-                name=f"gsi-{key}",
+                name=f"gsi-{key}-{range_attr}" if range_attr else f"gsi-{key}",
                 key_attribute=key,
+                range_attribute=range_attr or None,
                 include=include or (() if project_all else DEFAULT_INDEX_INCLUDE),
                 project_all=project_all,
                 wcu=wcu,
@@ -204,6 +217,114 @@ def _equality_candidates(node: Node) -> dict[str, tuple[str, ...]]:
             if attribute in right
         }
     return {}  # Not / Null / MatchAll pin nothing
+
+
+def _range_candidates(node: Node) -> dict[str, tuple[str | None, str | None]]:
+    """Attributes a predicate constrains to an inclusive value range.
+
+    For each returned ``attribute → (lo, hi)`` (either bound may be
+    ``None`` = unbounded), *every* item matching the predicate carries
+    at least one value of that attribute inside the range — both the
+    presence guarantee a sparse composite index needs (an item lacking
+    the range attribute has no entries, and also cannot match the
+    predicate) and the slice-superset guarantee that makes a
+    range-conditioned index Query sound (query the slice, then re-apply
+    the full predicate). Strict bounds are relaxed to inclusive ones —
+    a slightly wider slice is still a superset.
+    """
+    if isinstance(node, BracketPredicate):
+        lo: str | None = None
+        hi: str | None = None
+        for group in node.conjunctions:
+            # Only singleton groups constrain: an OR-group is satisfied
+            # by any of its comparisons, so it pins nothing by itself.
+            if len(group) != 1:
+                continue
+            comparison = group[0]
+            if comparison.op in (">=", ">", "="):
+                if lo is None or comparison.value > lo:
+                    lo = comparison.value
+            if comparison.op in ("<=", "<", "="):
+                if hi is None or comparison.value < hi:
+                    hi = comparison.value
+        if lo is None and hi is None:
+            return {}
+        return {node.attribute: (lo, hi)}
+    if isinstance(node, Comparison) and not node.every:
+        if node.op in (">=", ">"):
+            return {node.attribute: (node.value, None)}
+        if node.op in ("<=", "<"):
+            return {node.attribute: (None, node.value)}
+        if node.op == "=":
+            return {node.attribute: (node.value, node.value)}
+        return {}
+    if isinstance(node, BoolOp):
+        left = _range_candidates(node.left)
+        right = _range_candidates(node.right)
+        if node.op == "and":
+            # Both sides must hold: intersect bounds per attribute.
+            merged = dict(left)
+            for attribute, (lo, hi) in right.items():
+                if attribute in merged:
+                    mlo, mhi = merged[attribute]
+                    if lo is None or (mlo is not None and mlo > lo):
+                        lo = mlo
+                    if hi is None or (mhi is not None and mhi < hi):
+                        hi = mhi
+                merged[attribute] = (lo, hi)
+            return merged
+        # OR: only attributes constrained on *both* sides stay
+        # constrained, by the union (widest) of the two ranges.
+        merged = {}
+        for attribute in left:
+            if attribute not in right:
+                continue
+            llo, lhi = left[attribute]
+            rlo, rhi = right[attribute]
+            lo = None if llo is None or rlo is None else min(llo, rlo)
+            hi = None if lhi is None or rhi is None else max(lhi, rhi)
+            if lo is not None or hi is not None:
+                merged[attribute] = (lo, hi)
+        return merged
+    return {}  # Not / Null / MatchAll constrain nothing
+
+
+def range_condition_for(bounds: tuple[str | None, str | None]) -> tuple[str, ...]:
+    """Convert inclusive ``(lo, hi)`` bounds to a ``query_index`` range
+    condition tuple."""
+    lo, hi = bounds
+    if lo is not None and hi is not None:
+        return ("between", lo, hi)
+    if lo is not None:
+        return (">=", lo)
+    assert hi is not None
+    return ("<=", hi)
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One executable access path for a query phase on one shard store.
+
+    ``kind`` is ``"sdb"`` (the SimpleDB native query — the only path
+    that backend has), ``"scan"`` (paged base-table Scan + client-side
+    filter), ``"gsi"`` (equality Query over a secondary index for
+    ``values``), or ``"gsi-range"`` (composite-index Query for
+    ``values`` with ``range_condition`` restricting the partition
+    slice). The planner enumerates these via
+    :meth:`DynamoBackend.candidate_paths`, prices them, and hands the
+    winner back through ``query_pages(..., path=...)``.
+    """
+
+    kind: str
+    index: IndexSpec | None = None
+    values: tuple[str, ...] = ()
+    range_condition: tuple[str, ...] | None = None
+
+
+#: The backend-native default paths (module-level singletons so plan
+#: comparisons are cheap identity checks).
+SDB_PATH = AccessPath("sdb")
+SCAN_PATH = AccessPath("scan")
 
 
 def _referenced_attributes(node: Node) -> frozenset[str]:
@@ -285,9 +406,25 @@ class ProvenanceBackend(Protocol):
         select: str,
         select_mode: bool,
         attribute_names: list[str] | None,
+        compiled: CompiledQuery | None = None,
+        path: AccessPath | None = None,
     ) -> Iterator[tuple[str, dict[str, tuple[str, ...]]]]:
         """Matching (item name, projected attrs) pairs, paged through
-        the backend's native read path."""
+        the backend's native read path.
+
+        ``compiled`` is the pre-parsed form of ``expression`` — callers
+        issuing the same query against many shards compile once and pass
+        it through (parsing is client CPU, never metered, so this is
+        meter-neutral). ``path`` pins a specific
+        :class:`AccessPath` chosen by the query planner; ``None`` keeps
+        the backend's native choice (SimpleDB Select / first-fit GSI).
+        """
+        ...
+
+    def site_statistics(self, store: str) -> dict:
+        """Metered store statistics for the query planner's cost model
+        (DomainMetadata / DescribeTable — cheap, incrementally
+        maintained by the service, never sampled)."""
         ...
 
     def enumerate_items(
@@ -393,9 +530,24 @@ class SimpleDBBackend:
     def get_item(self, store: str, item_name: str) -> dict[str, tuple[str, ...]]:
         return self.service.get_attributes(store, item_name)
 
-    def query_pages(self, store, expression, select, select_mode, attribute_names):
+    def query_pages(
+        self,
+        store,
+        expression,
+        select,
+        select_mode,
+        attribute_names,
+        compiled=None,
+        path=None,
+    ):
         """Query/QueryWithAttributes (or SELECT) with result pagination
-        — the §2.2 front-ends, projected server-side."""
+        — the §2.2 front-ends, projected server-side.
+
+        ``compiled`` and ``path`` are accepted for protocol parity and
+        ignored: SimpleDB evaluates the wire expression server-side and
+        has exactly one access path, so the request sequence (and the
+        meter) cannot depend on either.
+        """
         token: str | None = None
         while True:
             if select_mode:
@@ -440,6 +592,19 @@ class SimpleDBBackend:
     def migration_pages(self, store):
         """SimpleDB has no secondary access path — always the scan."""
         return False, self.scan_pages(store)
+
+    def site_statistics(self, store: str) -> dict:
+        """One metered DomainMetadata call — item/byte counts plus
+        per-attribute distinct-value aggregates."""
+        return _retry_unavailable(self.service.domain_metadata, store)
+
+    def plan_first_fit(self, store, compiled, wanted) -> AccessPath:
+        """SimpleDB's first fit is its only fit."""
+        return SDB_PATH
+
+    def candidate_paths(self, store, compiled, wanted) -> list[AccessPath]:
+        """The one access path this backend has: server-side Select."""
+        return [SDB_PATH]
 
     def item_count(self, store: str) -> int:
         return self.service.item_count(store)
@@ -596,12 +761,22 @@ class DynamoBackend:
             if start_key is None:
                 return
 
-    def query_pages(self, store, expression, select, select_mode, attribute_names):
+    def query_pages(
+        self,
+        store,
+        expression,
+        select,
+        select_mode,
+        attribute_names,
+        compiled=None,
+        path=None,
+    ):
         """Serve one logical query from a GSI when possible, else Scan.
 
         The *same* compiled predicate SimpleDB evaluates server-side is
-        parsed here (``select`` and ``select_mode`` are SimpleDB wire
-        language choices and do not apply); if it pins an indexed
+        used here (``select`` and ``select_mode`` are SimpleDB wire
+        language choices and do not apply; callers that already compiled
+        the expression pass it via ``compiled``); if it pins an indexed
         attribute to equality values and the index projection covers
         everything the predicate and the caller read, the phase becomes
         a paged index Query over those values — paying read units only
@@ -611,24 +786,42 @@ class DynamoBackend:
         scan path: every scanned item is paid for in read units; the
         projection trims only what the caller sees, not what the scan
         cost — DynamoDB's filter-expression accounting.
+
+        ``path`` pins a planner-chosen :class:`AccessPath` instead of
+        the first-fit choice. A pinned index path is re-checked against
+        the staleness bound at execution time (plans are made from
+        statistics that may have aged); a stale index falls back to the
+        Scan path, counted like any other stale fallback.
         """
-        compiled = parse_query(expression)
+        if compiled is None:
+            compiled = parse_query(expression)
         wanted = None if attribute_names is None else set(attribute_names)
-        plan = self._index_plan(store, compiled, wanted)
-        if plan is not None:
-            spec, values = plan
+        if path is None:
+            path = self._index_plan(store, compiled, wanted)
+        elif path.kind in ("gsi", "gsi-range"):
+            lag = self.service.index_lag_seconds(store, path.index.name)
+            if (
+                self.index_staleness_bound is not None
+                and lag > self.index_staleness_bound
+            ):
+                self.stale_index_fallbacks += 1
+                self.scan_fallbacks += 1
+                path = SCAN_PATH
+        if path.kind in ("gsi", "gsi-range"):
             self.gsi_queries += 1
-            yield from self._query_via_index(store, spec, values, compiled, wanted)
+            yield from self._query_via_index(
+                store, path.index, path.values, compiled, wanted, path.range_condition
+            )
             return
         for item_name, attrs in run_query(list(self._scan_all(store)), compiled):
             if wanted is not None:
                 attrs = {k: v for k, v in attrs.items() if k in wanted}
             yield item_name, dict(attrs)
 
-    def _index_plan(
+    def _first_fit(
         self, store: str, compiled: CompiledQuery, wanted: set[str] | None
-    ) -> tuple[IndexSpec, tuple[str, ...]] | None:
-        """Choose a GSI access path for a compiled predicate, or None.
+    ) -> tuple[AccessPath | None, bool]:
+        """First usable GSI access path, or None — counter-neutral.
 
         An index is usable when the predicate pins its key attribute to
         an equality value set (the superset guarantee of
@@ -636,17 +829,27 @@ class DynamoBackend:
         attribute the predicate references plus the caller's requested
         projection (an ``ALL``-projection index covers anything,
         including full-item reads), and its replication lag is inside
-        the staleness bound. Indexes are tried in declaration order.
+        the staleness bound. A *composite* index is additionally usable
+        only when the predicate constrains its range attribute (the
+        index is sparse on that attribute, so an unconstrained predicate
+        could match items the index has no entries for). Indexes are
+        tried in declaration order; composite indexes are served by hash
+        equality alone here — adding the range condition is the cost
+        planner's improvement, not the first-fit baseline's. Returns
+        ``(path, stale_seen)``.
         """
         specs = self.service.list_indexes(store)
         if not specs:
-            return None
+            return None, False
         candidates = _equality_candidates(compiled.predicate)
+        ranges = _range_candidates(compiled.predicate)
         referenced = _referenced_attributes(compiled.predicate)
         stale = False
         for spec in specs:
             values = candidates.get(spec.key_attribute)
             if not values:
+                continue
+            if spec.range_attribute is not None and spec.range_attribute not in ranges:
                 continue
             if not spec.covers(referenced):
                 continue
@@ -659,11 +862,82 @@ class DynamoBackend:
             ):
                 stale = True
                 continue
-            return spec, values
+            return AccessPath("gsi", spec, tuple(sorted(set(values)))), stale
+        return None, stale
+
+    def _index_plan(
+        self, store: str, compiled: CompiledQuery, wanted: set[str] | None
+    ) -> AccessPath:
+        """The default (no-planner) choice, with fallback accounting.
+
+        A table with no indexes at all scans without counting a
+        *fallback* — there was never an index to fall back from."""
+        if not self.service.list_indexes(store):
+            return SCAN_PATH
+        path, stale = self._first_fit(store, compiled, wanted)
+        if path is not None:
+            return path
         if stale:
             self.stale_index_fallbacks += 1
         self.scan_fallbacks += 1
-        return None
+        return SCAN_PATH
+
+    def plan_first_fit(
+        self, store: str, compiled: CompiledQuery, wanted: set[str] | None
+    ) -> AccessPath:
+        """What ``path=None`` would execute, without touching the
+        fallback counters (the planner's baseline mode predicts this
+        path's cost but execution still does its own accounting)."""
+        path, _ = self._first_fit(store, compiled, wanted)
+        return path if path is not None else SCAN_PATH
+
+    def candidate_paths(
+        self, store: str, compiled: CompiledQuery, wanted: set[str] | None
+    ) -> list[AccessPath]:
+        """Every sound access path for a compiled predicate, Scan first.
+
+        Eligibility matches :meth:`_first_fit` exactly — same equality,
+        coverage, range-constraint, and staleness rules — but *all*
+        usable indexes are enumerated, and a composite index contributes
+        both its hash-equality Query and the range-conditioned Query
+        over the predicate's slice (strictly fewer entries served; the
+        cost model prices the difference).
+        """
+        paths = [SCAN_PATH]
+        specs = self.service.list_indexes(store)
+        if not specs:
+            return paths
+        candidates = _equality_candidates(compiled.predicate)
+        ranges = _range_candidates(compiled.predicate)
+        referenced = _referenced_attributes(compiled.predicate)
+        for spec in specs:
+            values = candidates.get(spec.key_attribute)
+            if not values:
+                continue
+            if spec.range_attribute is not None and spec.range_attribute not in ranges:
+                continue
+            if not spec.covers(referenced):
+                continue
+            if not spec.project_all and (wanted is None or not spec.covers(wanted)):
+                continue
+            lag = self.service.index_lag_seconds(store, spec.name)
+            if (
+                self.index_staleness_bound is not None
+                and lag > self.index_staleness_bound
+            ):
+                continue
+            ordered = tuple(sorted(set(values)))
+            paths.append(AccessPath("gsi", spec, ordered))
+            if spec.range_attribute is not None:
+                paths.append(
+                    AccessPath(
+                        "gsi-range",
+                        spec,
+                        ordered,
+                        range_condition_for(ranges[spec.range_attribute]),
+                    )
+                )
+        return paths
 
     def _query_via_index(
         self,
@@ -672,6 +946,7 @@ class DynamoBackend:
         values: tuple[str, ...],
         compiled: CompiledQuery,
         wanted: set[str] | None,
+        range_condition: tuple[str, ...] | None = None,
     ):
         """Paged batch Query over one index, deduplicated and re-filtered."""
         seen: set[str] = set()
@@ -684,6 +959,7 @@ class DynamoBackend:
                 spec.name,
                 ordered,
                 exclusive_start_key=start_key,
+                range_condition=range_condition,
             )
             for item_name, attrs in page.entries:
                 if item_name in seen:
@@ -760,6 +1036,74 @@ class DynamoBackend:
                 store,
                 spec.name,
                 exclusive_start_key=start_key,
+            )
+            for item_name, attrs in page.entries:
+                if item_name in seen:
+                    continue
+                seen.add(item_name)
+                yield item_name, dict(attrs)
+            start_key = page.last_evaluated_key
+            if start_key is None:
+                return
+
+    def site_statistics(self, store: str) -> dict:
+        """One metered DescribeTable call — table and per-index stats
+        (item counts, byte totals, distinct index keys) the planner's
+        cost model consumes."""
+        return self._with_backoff(self.service.describe_table, store)
+
+    def composite_index(
+        self,
+        store: str,
+        hash_attribute: str,
+        range_attribute: str,
+        project_all: bool = True,
+    ) -> IndexSpec | None:
+        """A fresh composite ``(hash, range)`` index on the store, or
+        None — what ``version_history`` probes before replacing its
+        per-version GetItem loop with one range Query. ``project_all``
+        demands an ``ALL`` projection (full bundles must be decodable
+        straight off the entries)."""
+        stale = False
+        for spec in self.service.list_indexes(store):
+            if spec.key_attribute != hash_attribute:
+                continue
+            if spec.range_attribute != range_attribute:
+                continue
+            if project_all and not spec.project_all:
+                continue
+            lag = self.service.index_lag_seconds(store, spec.name)
+            if (
+                self.index_staleness_bound is not None
+                and lag > self.index_staleness_bound
+            ):
+                stale = True
+                continue
+            return spec
+        if stale:
+            self.stale_index_fallbacks += 1
+        return None
+
+    def index_range_entries(
+        self,
+        store: str,
+        index_name: str,
+        hash_value: str,
+        range_condition: tuple[str, ...],
+    ):
+        """Paged range Query over one composite-index partition,
+        deduplicated, in range-attribute order (composite entries sort
+        by range value within the hash partition)."""
+        seen: set[str] = set()
+        start_key: str | None = None
+        while True:
+            page = self._with_backoff(
+                self.service.query_index,
+                store,
+                index_name,
+                [hash_value],
+                exclusive_start_key=start_key,
+                range_condition=range_condition,
             )
             for item_name, attrs in page.entries:
                 if item_name in seen:

@@ -56,6 +56,14 @@ DDB = "dynamodb"
 #: Query-on-index read units surface as their own billing lines instead
 #: of hiding inside the base table's totals.
 DDB_GSI = "dynamodb-gsi"
+#: Range-conditioned (hash+range) Queries on composite global secondary
+#: indexes. A separate meter key so the planner's headline saving — a
+#: range condition reading one slice of an index partition instead of
+#: the whole partition — is its own billing line, auditable next to the
+#: plain equality-Query spend it displaces. Index maintenance and
+#: storage stay on :data:`DDB_GSI`; only the range-Query serving costs
+#: (requests, read units, transfer out) land here.
+DDB_GSI_RANGE = "dynamodb-gsi-range"
 #: The ElastiCache-style provenance read-cache tier
 #: (:mod:`repro.aws.elasticache`). Its own meter key so the cost of
 #: *having* the cache (fill puts, cached bytes held in node memory) and
@@ -86,6 +94,9 @@ SDB_BOX_USAGE_HOURS = {
     "Query": 1.40e-5,
     "QueryWithAttributes": 1.90e-5,
     "Select": 1.90e-5,
+    # Statistics read the query planner's cost model consults — priced
+    # like the other metadata reads (GetAttributes / ListDomains).
+    "DomainMetadata": 0.93e-5,
     "CreateDomain": 5.00e-4,
     "DeleteDomain": 5.00e-4,
     "ListDomains": 0.93e-5,
@@ -568,6 +579,20 @@ class PriceBook:
         lines.append((
             "dynamodb.gsi.storage",
             usage.gb_months(DDB_GSI) * self.ddb_storage_gb_month,
+        ))
+        # Range-conditioned Queries on composite (hash+range) indexes:
+        # same unit rates as the equality-GSI lines, itemised separately
+        # so the planner's range-vs-equality access-path choice is a
+        # visible line, not a blended total. Like equality GSI Queries,
+        # request counts are metered but priced into read units — there
+        # is deliberately no ``.requests`` line for either.
+        lines.append((
+            "dynamodb.gsi.range.read_units",
+            usage.read_units(DDB_GSI_RANGE) / 1_000_000 * self.ddb_read_per_million_units,
+        ))
+        lines.append((
+            "dynamodb.gsi.range.transfer.out",
+            usage.transfer_out(DDB_GSI_RANGE) / GB * self.ddb_transfer_out_gb,
         ))
 
         # The read-cache tier: request volume, transfer, and node-memory

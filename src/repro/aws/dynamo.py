@@ -111,6 +111,17 @@ class IndexSpec:
     including the full-item reads a migration streams. Items lacking
     the attribute have no entries (sparse index).
 
+    ``range_attribute`` makes the index **composite** (DynamoDB's
+    hash+range key schema): each entry's position is
+    ``(hash value, range value, item name)``, entries sort by range
+    value within one hash partition (values compare lexicographically,
+    like SimpleDB — callers zero-pad numbers), and ``query_index``
+    accepts a range condition that reads one contiguous *slice* of the
+    partition instead of all of it. The sparsity rule extends to the
+    range key: an item lacking *either* attribute has no entries — so
+    a composite index can only serve predicates that constrain the
+    range attribute (guaranteeing every matching item carries it).
+
     ``wcu``/``rcu`` optionally provision the index's own capacity: its
     maintenance writes and Query reads then throttle against the
     index's own per-second admission window instead of charging the
@@ -125,19 +136,81 @@ class IndexSpec:
     project_all: bool = False
     wcu: int | None = None
     rcu: int | None = None
+    range_attribute: str | None = None
 
     @property
     def projected_attributes(self) -> frozenset[str]:
-        return frozenset((self.key_attribute, *self.include))
+        keys = (
+            (self.key_attribute,)
+            if self.range_attribute is None
+            else (self.key_attribute, self.range_attribute)
+        )
+        return frozenset((*keys, *self.include))
 
     def covers(self, attributes: frozenset[str] | set[str]) -> bool:
         """Can index entries answer reads of these attributes?"""
         return self.project_all or set(attributes) <= self.projected_attributes
 
 
-def index_entry_key(key_value: str, item_name: str) -> str:
-    """The index keyspace position of one (value, item) entry."""
-    return f"{key_value}{INDEX_KEY_SEP}{item_name}"
+def index_entry_key(
+    key_value: str, item_name: str, range_value: str | None = None
+) -> str:
+    """The index keyspace position of one entry.
+
+    Simple indexes position by ``(value, item name)``; composite ones
+    insert the range value in the middle, so entries order by
+    ``(hash value, range value, item name)`` and a range condition is a
+    contiguous slice of the partition. The item name is always the
+    segment after the *last* separator (``rpartition``), whichever
+    shape the index uses.
+    """
+    if range_value is None:
+        return f"{key_value}{INDEX_KEY_SEP}{item_name}"
+    return f"{key_value}{INDEX_KEY_SEP}{range_value}{INDEX_KEY_SEP}{item_name}"
+
+
+def _entry_positions(spec: IndexSpec, key: str, state: ItemState) -> list[str]:
+    """Every index-entry position ``state`` produces under ``spec``.
+
+    Multi-valued attributes fan out (one entry per value — per hash ×
+    range pair for composite specs); items lacking the hash attribute,
+    or the range attribute of a composite spec, produce none (sparse).
+    """
+    hash_values = state.get(spec.key_attribute, ())
+    if spec.range_attribute is None:
+        return [index_entry_key(value, key) for value in hash_values]
+    range_values = state.get(spec.range_attribute, ())
+    return [
+        index_entry_key(hash_value, key, range_value)
+        for hash_value in hash_values
+        for range_value in range_values
+    ]
+
+
+#: Range-condition operators ``query_index`` accepts, with their arity.
+_RANGE_OPS = {">=": 2, "<=": 2, ">": 2, "<": 2, "between": 3}
+
+
+def _validate_range_condition(condition: tuple[str, ...]) -> None:
+    arity = _RANGE_OPS.get(condition[0]) if condition else None
+    if arity is None or len(condition) != arity:
+        raise ValueError(
+            f"bad range condition {condition!r}; expected ('>=', lo), "
+            "('<=', hi), ('>', lo), ('<', hi) or ('between', lo, hi)"
+        )
+
+
+def _range_matches(value: str, condition: tuple[str, ...]) -> bool:
+    op = condition[0]
+    if op == ">=":
+        return value >= condition[1]
+    if op == "<=":
+        return value <= condition[1]
+    if op == ">":
+        return value > condition[1]
+    if op == "<":
+        return value < condition[1]
+    return condition[1] <= value <= condition[2]
 
 
 def _project(state: ItemState, spec: IndexSpec) -> ItemState:
@@ -210,6 +283,67 @@ class _Index:
     window_start: float = 0.0
     window_read_units: float = 0.0
     window_write_units: float = 0.0
+    # Incremental statistics over the converged entry space — what
+    # DescribeTable reports and the query planner's cost model
+    # consumes. Maintained at write-commit time (never sampled):
+    # ``key_counts`` maps each hash-key value to its live entry count,
+    # so an equality Query's result cardinality is exact; on composite
+    # indexes ``range_counts`` does the same per range-key value, so a
+    # range slice's cardinality is a sum over the slice.
+    entry_count: int = 0
+    entry_bytes: int = 0
+    key_counts: dict[str, int] = field(default_factory=dict)
+    range_counts: dict[str, int] = field(default_factory=dict)
+    # Per-key *byte* histograms next to the count histograms: projected
+    # entry widths vary wildly across hash partitions (a process item
+    # projects its whole multi-valued input list; a pipe projects one
+    # value), so an index-wide mean would misprice any slice. Same
+    # maintenance discipline — exact, incremental, never sampled.
+    key_bytes: dict[str, int] = field(default_factory=dict)
+    range_bytes: dict[str, int] = field(default_factory=dict)
+
+
+def _bump(histogram: dict[str, int], key: str, delta: int) -> None:
+    left = histogram.get(key, 0) + delta
+    if left > 0:
+        histogram[key] = left
+    else:
+        histogram.pop(key, None)
+
+
+def _stat_entry_written(index: _Index, entry_key: str, size_delta: int,
+                        is_new: bool) -> None:
+    """Fold one committed index-entry write into the index statistics."""
+    index.entry_bytes += size_delta
+    parts = entry_key.split(INDEX_KEY_SEP)
+    _bump(index.key_bytes, parts[0], size_delta)
+    if len(parts) == 3:  # composite: [hash, range, item]
+        _bump(index.range_bytes, parts[1], size_delta)
+    if is_new:
+        index.entry_count += 1
+        index.key_counts[parts[0]] = index.key_counts.get(parts[0], 0) + 1
+        if len(parts) == 3:
+            index.range_counts[parts[1]] = index.range_counts.get(parts[1], 0) + 1
+
+
+def _stat_entry_deleted(index: _Index, entry_key: str, size: int) -> None:
+    """Fold one committed index-entry delete into the index statistics."""
+    index.entry_bytes -= size
+    index.entry_count -= 1
+    parts = entry_key.split(INDEX_KEY_SEP)
+    _bump(index.key_bytes, parts[0], -size)
+    remaining = index.key_counts.get(parts[0], 0) - 1
+    if remaining > 0:
+        index.key_counts[parts[0]] = remaining
+    else:
+        index.key_counts.pop(parts[0], None)
+    if len(parts) == 3:
+        _bump(index.range_bytes, parts[1], -size)
+        left = index.range_counts.get(parts[1], 0) - 1
+        if left > 0:
+            index.range_counts[parts[1]] = left
+        else:
+            index.range_counts.pop(parts[1], None)
 
 
 @dataclass
@@ -221,6 +355,10 @@ class _Table:
     read_capacity: int
     write_capacity: int
     indexes: dict[str, _Index] = field(default_factory=dict)
+    # Incremental authoritative-size statistic (DescribeTable's
+    # ``TableSizeBytes``): updated by the same deltas the storage meter
+    # sees, so mean item size is item-count arithmetic, not a scan.
+    total_bytes: int = 0
     # Admission-control window: consumption within the current simulated
     # second, reset when the clock enters a new second.
     window_start: float = 0.0
@@ -349,12 +487,12 @@ class DynamoDBService:
         stored = 0
         for key, state in table.authority.items():
             projected = _project(state, spec)
-            for value in state.get(spec.key_attribute, ()):
-                entry_key = index_entry_key(value, key)
+            for entry_key in _entry_positions(spec, key, state):
                 size = _entry_size(entry_key, projected)
                 backfill_units += _write_units_for(size)
                 stored += size
                 index.replicas.write(entry_key, dict(projected))
+                _stat_entry_written(index, entry_key, size, True)
         if backfill_units:
             self._meter.record_capacity(billing.DDB_GSI, write_units=backfill_units)
         if stored:
@@ -418,21 +556,22 @@ class DynamoDBService:
         — a replayed idempotent put amplifies nothing, like real GSIs
         (no index write when key and projection are unchanged).
         """
-        writes: list[tuple[_Index, str, ItemState, int]] = []
+        writes: list[tuple[_Index, str, ItemState, int, bool]] = []
         shared_units = 0.0
         index_charges: list[tuple[_Index, float, float]] = []
         for index in table.indexes.values():
             projected = _project(new_state, index.spec)
             units = 0.0
-            for value in new_state.get(index.spec.key_attribute, ()):
-                entry_key = index_entry_key(value, key)
+            for entry_key in _entry_positions(index.spec, key, new_state):
                 old = index.replicas.read_authoritative(entry_key)
                 if old == projected:
                     continue
                 old_size = _entry_size(entry_key, old) if old is not None else 0
                 new_size = _entry_size(entry_key, projected)
                 units += _write_units_for(max(old_size, new_size))
-                writes.append((index, entry_key, projected, new_size - old_size))
+                writes.append(
+                    (index, entry_key, projected, new_size - old_size, old is None)
+                )
             if not units:
                 continue
             if index.spec.wcu is not None:
@@ -449,8 +588,7 @@ class DynamoDBService:
         index_charges: list[tuple[_Index, float, float]] = []
         for index in table.indexes.values():
             units = 0.0
-            for value in old_state.get(index.spec.key_attribute, ()):
-                entry_key = index_entry_key(value, key)
+            for entry_key in _entry_positions(index.spec, key, old_state):
                 old = index.replicas.read_authoritative(entry_key)
                 if old is None:
                     continue
@@ -576,15 +714,17 @@ class DynamoDBService:
             sum(len(n.encode()) + len(v.encode()) for n, v in adds),
         )
         self._meter.adjust_stored(billing.DDB, new_size - old_size)
+        table.total_bytes += new_size - old_size
         table.authority[key] = state
         table.replicas.write(key, dict(state))
         if index_writes:
             self._meter.record_capacity(billing.DDB_GSI, write_units=index_units)
-            stored_delta = sum(delta for _, _, _, delta in index_writes)
+            stored_delta = sum(delta for _, _, _, delta, _ in index_writes)
             if stored_delta:
                 self._meter.adjust_stored(billing.DDB_GSI, stored_delta)
-            for index, entry_key, projected, _ in index_writes:
+            for index, entry_key, projected, delta, is_new in index_writes:
                 index.replicas.write(entry_key, dict(projected))
+                _stat_entry_written(index, entry_key, delta, is_new)
 
     @synchronized
     def batch_write_item(
@@ -665,6 +805,7 @@ class DynamoDBService:
                 len(n.encode()) + len(v.encode()) for n, v in adds
             )
             self._meter.adjust_stored(billing.DDB, new_size - old_size)
+            table.total_bytes += new_size - old_size
             table.authority[key] = state
             table.replicas.write(key, dict(state))
             if index_writes:
@@ -672,10 +813,11 @@ class DynamoDBService:
                     charge for _, _, charge in index_charges
                 )
                 admitted_index_stored += sum(
-                    delta for _, _, _, delta in index_writes
+                    delta for _, _, _, delta, _ in index_writes
                 )
-                for index, entry_key, projected, _ in index_writes:
+                for index, entry_key, projected, delta, is_new in index_writes:
                     index.replicas.write(entry_key, dict(projected))
+                    _stat_entry_written(index, entry_key, delta, is_new)
         if len(unprocessed) == len(puts):
             raise errors.ProvisionedThroughputExceeded(
                 f"write capacity {table.write_capacity} units/s exhausted "
@@ -715,14 +857,16 @@ class DynamoDBService:
             return
         del table.authority[key]
         self._meter.adjust_stored(billing.DDB, -_attr_size(state) - len(key.encode()))
+        table.total_bytes -= old_size
         table.replicas.delete(key)
         if index_deletes:
             self._meter.record_capacity(billing.DDB_GSI, write_units=index_units)
             self._meter.adjust_stored(
                 billing.DDB_GSI, -sum(size for _, _, size in index_deletes)
             )
-            for index, entry_key, _ in index_deletes:
+            for index, entry_key, size in index_deletes:
                 index.replicas.delete(entry_key)
+                _stat_entry_deleted(index, entry_key, size)
 
     # -- reads --------------------------------------------------------------
 
@@ -807,6 +951,7 @@ class DynamoDBService:
         key_values: list[str],
         exclusive_start_key: str | None = None,
         limit: int = SCAN_MAX_PAGE,
+        range_condition: tuple[str, ...] | None = None,
     ) -> IndexQueryResult:
         """One page of a Query against a GSI, for any of ``key_values``.
 
@@ -819,6 +964,15 @@ class DynamoDBService:
         page crosses (min one unit, halved for the eventual read),
         metered on the :data:`~repro.aws.billing.DDB_GSI` billing key.
         Pages bound by ``limit`` items or the shared byte budget.
+
+        ``range_condition`` (composite indexes only) restricts the page
+        to the partition slice satisfying the key condition — one of
+        ``(">=", lo)``, ``("<=", hi)``, ``(">", lo)``, ``("<", hi)`` or
+        ``("between", lo, hi)``, compared lexicographically against the
+        entry's range value. The slice is what the page budget is spent
+        on — entries outside it are never crossed, which is exactly the
+        saving the planner buys — and the serving costs land on the
+        distinct :data:`~repro.aws.billing.DDB_GSI_RANGE` billing key.
         """
         if not key_values:
             raise ValueError("query_index requires at least one key value")
@@ -830,16 +984,33 @@ class DynamoDBService:
             raise errors.NoSuchIndex(
                 f"table {table_name!r} has no index {index_name!r}"
             )
+        if range_condition is not None:
+            if index.spec.range_attribute is None:
+                raise ValueError(
+                    f"index {index_name!r} has no range key; "
+                    "range_condition requires a composite index"
+                )
+            _validate_range_condition(range_condition)
         wanted = set(key_values)
         matches: list[tuple[str, str, ItemState]] = []
         for entry_key, projected in index.replicas.items_snapshot():
-            value, _, item_name = entry_key.partition(INDEX_KEY_SEP)
+            value, _, rest = entry_key.partition(INDEX_KEY_SEP)
             if value not in wanted:
                 continue
+            if range_condition is not None:
+                range_value = rest.rpartition(INDEX_KEY_SEP)[0]
+                if not _range_matches(range_value, range_condition):
+                    continue
             if exclusive_start_key is not None and entry_key <= exclusive_start_key:
                 continue
+            item_name = rest.rpartition(INDEX_KEY_SEP)[2]
             matches.append((entry_key, item_name, projected))
-        return self._serve_index_page(table, index, matches, limit, "Query")
+        billing_key = (
+            billing.DDB_GSI_RANGE if range_condition is not None else billing.DDB_GSI
+        )
+        return self._serve_index_page(
+            table, index, matches, limit, "Query", billing_key
+        )
 
     def _serve_index_page(
         self,
@@ -848,6 +1019,7 @@ class DynamoDBService:
         matches: list[tuple[str, str, ItemState]],
         limit: int,
         op: str,
+        billing_key: str = billing.DDB_GSI,
     ) -> IndexQueryResult:
         """Shared paging/admission/metering for every GSI read path.
 
@@ -856,7 +1028,10 @@ class DynamoDBService:
         Scan differ only in how they select entries, never in how a page
         is budgeted, admitted (the index's own ``rcu`` window when
         provisioned, the base table's otherwise), or billed (eventual
-        read units + transfer on :data:`~repro.aws.billing.DDB_GSI`).
+        read units + transfer on ``billing_key`` —
+        :data:`~repro.aws.billing.DDB_GSI` except for range-conditioned
+        Queries, which land on
+        :data:`~repro.aws.billing.DDB_GSI_RANGE`).
         """
         page: list[tuple[str, str, ItemState]] = []
         page_bytes = 0
@@ -874,10 +1049,10 @@ class DynamoDBService:
             self._admit(table, 0.0, 0.0, [(index, read_units, 0.0)])
         else:
             self._admit(table, read_units, 0.0)
-        self._meter.record_request(billing.DDB_GSI, op)
-        self._meter.record_capacity(billing.DDB_GSI, read_units=read_units)
+        self._meter.record_request(billing_key, op)
+        self._meter.record_capacity(billing_key, read_units=read_units)
         self._meter.record_transfer_out(
-            billing.DDB_GSI,
+            billing_key,
             sum(
                 len(item_name.encode()) + _attr_size(projected)
                 for _, item_name, projected in page
@@ -920,7 +1095,7 @@ class DynamoDBService:
                 f"table {table_name!r} has no index {index_name!r}"
             )
         matches = [
-            (entry_key, entry_key.partition(INDEX_KEY_SEP)[2], projected)
+            (entry_key, entry_key.rpartition(INDEX_KEY_SEP)[2], projected)
             for entry_key, projected in index.replicas.items_snapshot()
             if exclusive_start_key is None or entry_key > exclusive_start_key
         ]
@@ -935,10 +1110,45 @@ class DynamoDBService:
         covers the whole table before streaming from it."""
         index = self._index(table_name, index_name)
         names = {
-            entry_key.partition(INDEX_KEY_SEP)[2]
+            entry_key.rpartition(INDEX_KEY_SEP)[2]
             for entry_key, _ in index.replicas.authoritative_items()
         }
         return len(names)
+
+    @synchronized
+    def describe_table(self, table_name: str) -> dict:
+        """Table and per-index statistics — what the query planner's
+        cost model consumes.
+
+        Every figure is maintained **incrementally** at write-commit
+        time (never sampled or scanned): the table's item count and
+        authoritative byte total, and per index its entry count, entry
+        bytes, the distinct hash-key values with their exact entry
+        counts, and the current replication lag. Metered as one
+        DynamoDB request (the DescribeTable control-plane call), priced
+        by the ``dynamodb.requests`` line — deliberately cheap next to
+        the data-plane requests the planner's choice avoids.
+        """
+        table = self._table(table_name)
+        self._request("DescribeTable")
+        return {
+            "item_count": len(table.authority),
+            "table_bytes": table.total_bytes,
+            "indexes": {
+                name: {
+                    "range_attribute": index.spec.range_attribute,
+                    "entry_count": index.entry_count,
+                    "entry_bytes": index.entry_bytes,
+                    "distinct_keys": len(index.key_counts),
+                    "key_counts": dict(index.key_counts),
+                    "key_bytes": dict(index.key_bytes),
+                    "range_counts": dict(index.range_counts),
+                    "range_bytes": dict(index.range_bytes),
+                    "lag_seconds": index.replicas.lag_seconds(),
+                }
+                for name, index in table.indexes.items()
+            },
+        }
 
     # -- oracle helpers (tests/migration verification) ----------------------
 
@@ -970,12 +1180,14 @@ class DynamoDBService:
     def authoritative_index_entries(
         self, table_name: str, index_name: str
     ) -> dict[tuple[str, str], ItemState]:
-        """The index's converged view: (key value, item name) →
-        projected attributes. Oracle read bypassing index replication."""
+        """The index's converged view: (key position, item name) →
+        projected attributes — the key position is the hash value for a
+        simple index, ``hash\\x00range`` for a composite one. Oracle
+        read bypassing index replication."""
         index = self._index(table_name, index_name)
         entries: dict[tuple[str, str], ItemState] = {}
         for entry_key, projected in index.replicas.authoritative_items():
-            value, _, item_name = entry_key.partition(INDEX_KEY_SEP)
+            value, _, item_name = entry_key.rpartition(INDEX_KEY_SEP)
             entries[(value, item_name)] = dict(projected)
         return entries
 

@@ -49,6 +49,11 @@ QUERY_MAX_PAGE = 250
 #: Maximum items returned per Select page.
 SELECT_MAX_PAGE = 250
 
+#: Box-usage machine hours each query request charges per item scanned —
+#: SimpleDB billed more machine time for broader queries. Named so the
+#: query planner's cost model and the meter share one number.
+SCAN_HOURS_PER_ITEM = 2.0e-8
+
 
 @dataclass(frozen=True)
 class Attribute:
@@ -122,6 +127,13 @@ class SimpleDBService:
         # Authoritative attribute state used for read-modify-write; the
         # ReplicaSet holds copies for eventually consistent reads.
         self._authority: dict[str, dict[str, ItemState]] = {}
+        # Incremental per-domain statistics (what DomainMetadata reports
+        # and the query planner's cost model consumes): total attribute
+        # bytes, plus per attribute name a refcount of the items holding
+        # each value — every write path folds its own old/new diff in,
+        # so the figures are exact without ever scanning.
+        self._stat_bytes: dict[str, int] = {}
+        self._stat_values: dict[str, dict[str, dict[str, int]]] = {}
         # Serialises the public API: concurrent scatter-gather workers
         # observe each request as atomic, exactly as the single-threaded
         # simulation always has (see repro.concurrency).
@@ -138,11 +150,15 @@ class SimpleDBService:
                 f"sdb/{name}", self._clock, self._rng, self._n_replicas, self._delays
             )
             self._authority[name] = {}
+            self._stat_bytes[name] = 0
+            self._stat_values[name] = {}
 
     @synchronized
     def delete_domain(self, name: str) -> None:
         self._request("DeleteDomain")
         self._domains.pop(name, None)
+        self._stat_bytes.pop(name, None)
+        self._stat_values.pop(name, None)
         removed = self._authority.pop(name, None)
         if removed:
             freed = sum(_attr_size(state) for state in removed.values())
@@ -158,6 +174,56 @@ class SimpleDBService:
         if domain is None:
             raise errors.NoSuchDomain(name)
         return domain
+
+    @synchronized
+    def domain_metadata(self, name: str) -> dict:
+        """Domain statistics — the DomainMetadata call real SimpleDB
+        offered, and what the query planner's cost model consumes.
+
+        Reports the authoritative item count, total attribute bytes,
+        and per attribute name how many distinct values exist and how
+        many (item, value) pairs hold it — all maintained incrementally
+        by the write paths (never scanned), so the call is a cheap
+        metered metadata read (``DomainMetadata`` box-usage tier, no
+        per-item machine time).
+        """
+        self._domain(name)
+        self._request("DomainMetadata")
+        return {
+            "item_count": len(self._authority[name]),
+            "item_bytes": self._stat_bytes[name],
+            "attributes": {
+                attr: {
+                    "distinct_values": len(refcounts),
+                    "value_count": sum(refcounts.values()),
+                }
+                for attr, refcounts in self._stat_values[name].items()
+            },
+        }
+
+    def _stat_apply(
+        self, domain: str, old_state: ItemState, new_state: ItemState
+    ) -> None:
+        """Fold one item's old→new diff into the domain statistics.
+        Called with the service lock held, from every write path."""
+        self._stat_bytes[domain] += _attr_size(new_state) - _attr_size(old_state)
+        values = self._stat_values[domain]
+        for attr in set(old_state) | set(new_state):
+            old_values = set(old_state.get(attr, ()))
+            new_values = set(new_state.get(attr, ()))
+            if old_values == new_values:
+                continue
+            refcounts = values.setdefault(attr, {})
+            for value in new_values - old_values:
+                refcounts[value] = refcounts.get(value, 0) + 1
+            for value in old_values - new_values:
+                remaining = refcounts.get(value, 0) - 1
+                if remaining > 0:
+                    refcounts[value] = remaining
+                else:
+                    refcounts.pop(value, None)
+            if not refcounts:
+                values.pop(attr, None)
 
     # -- writes ---------------------------------------------------------------
 
@@ -178,13 +244,15 @@ class SimpleDBService:
         attrs = self._validated_attrs("PutAttributes", attributes)
         store = self._domain(domain)
         authority = self._authority[domain]
-        state = self._merged_state(authority.get(item_name, {}), attrs, item_name)
-        old_size = _attr_size(dict(authority.get(item_name, {})))
+        old_state = authority.get(item_name, {})
+        state = self._merged_state(old_state, attrs, item_name)
+        old_size = _attr_size(dict(old_state))
         self._meter.record_transfer_in(
             billing.SDB,
             sum(len(a.name.encode()) + len(a.value.encode()) for a in attrs),
         )
         self._meter.adjust_stored(billing.SDB, _attr_size(state) - old_size)
+        self._stat_apply(domain, old_state, state)
         authority[item_name] = state
         store.write(item_name, dict(state))
 
@@ -228,8 +296,10 @@ class SimpleDBService:
             )
         self._meter.record_transfer_in(billing.SDB, transfer)
         for item_name, state in staged.items():
-            old_size = _attr_size(dict(authority.get(item_name, {})))
+            old_state = authority.get(item_name, {})
+            old_size = _attr_size(dict(old_state))
             self._meter.adjust_stored(billing.SDB, _attr_size(state) - old_size)
+            self._stat_apply(domain, old_state, state)
             authority[item_name] = state
             store.write(item_name, dict(state))
 
@@ -298,6 +368,7 @@ class SimpleDBService:
         if attributes is None:
             del authority[item_name]
             self._meter.adjust_stored(billing.SDB, -old_size)
+            self._stat_apply(domain, state, {})
             store.delete(item_name)
             return
         new_state: ItemState = dict(state)
@@ -322,6 +393,7 @@ class SimpleDBService:
             del authority[item_name]
             store.delete(item_name)
         self._meter.adjust_stored(billing.SDB, _attr_size(new_state) - old_size)
+        self._stat_apply(domain, state, new_state)
 
     # -- reads -----------------------------------------------------------------
 
@@ -437,7 +509,7 @@ class SimpleDBService:
         snapshot = list(store.items_snapshot())
         # Box usage grows with the number of items scanned, mirroring how
         # SimpleDB charged more machine time for broader queries.
-        self._meter.record_box_usage(len(snapshot) * 2.0e-8)
+        self._meter.record_box_usage(len(snapshot) * SCAN_HOURS_PER_ITEM)
         matched = run_query(snapshot, query)
         if next_token is not None:
             matched = self._resume(matched, next_token)

@@ -40,12 +40,17 @@ from repro.workloads import (
     BlastWorkload,
     DeepLineageWorkload,
     DiurnalBurstWorkload,
+    LinuxCompileWorkload,
     TraceReplayWorkload,
     Workload,
     ZipfianFleetWorkload,
     dump_trace,
     load_trace,
 )
+
+#: The Q4 window every matrix repetition asks for: file versions that
+#: changed during the rebuild passes (version 1 is the initial build).
+Q4_VERSION_RANGE = (2, 3)
 
 #: Bootstrap resamples behind each confidence interval.
 BOOTSTRAP_ROUNDS = 200
@@ -83,6 +88,7 @@ class MatrixCell:
     write_batch: int = 1
     read_cache: str = "off"
     concurrency: int = 1
+    planner: str = "off"
 
     def build_simulation(self, seed: int) -> Simulation:
         kwargs = {}
@@ -96,6 +102,7 @@ class MatrixCell:
             ddb_indexes=self.ddb_indexes,
             read_cache=self.read_cache,
             concurrency=self.concurrency,
+            planner=self.planner,
             **kwargs,
         )
 
@@ -135,6 +142,25 @@ def default_workloads(scale: float = 1.0) -> list[WorkloadSpec]:
             scale=scale,
             program="blast",
         ),
+        WorkloadSpec(
+            key="time-range",
+            # Incremental rebuilds put most files at version ≥ 2, so the
+            # Q4 version window is dense — the row composite hash+range
+            # indexes (and the cost planner's range conditions) exist
+            # to make cheap.
+            workload=LinuxCompileWorkload(
+                n_sources=160,
+                n_headers=48,
+                rebuild_passes=2,
+                rebuild_fraction=0.30,
+            ),
+            # Full size on purpose: the per-shard ``type = 'file'``
+            # partition then spans multiple index pages, so first-fit
+            # (whole partition) pays strictly more Query requests than
+            # the cost planner's version-window slice.
+            scale=scale,
+            program="cc1",
+        ),
     ]
 
 
@@ -147,6 +173,20 @@ def default_cells() -> list[MatrixCell]:
         MatrixCell(key="mixed-4-cache", shards=4, placement="mixed", read_cache="on"),
         MatrixCell(key="sdb-4-cache", shards=4, read_cache="on"),
         MatrixCell(key="sqs-wb8", architecture="s3+simpledb+sqs", write_batch=8),
+        MatrixCell(
+            key="ddb-planner-ff-4",
+            shards=4,
+            placement="ddb",
+            ddb_indexes="name/nonce+*,type/nonce,name,input",
+            planner="first-fit",
+        ),
+        MatrixCell(
+            key="ddb-planner-cost-4",
+            shards=4,
+            placement="ddb",
+            ddb_indexes="name/nonce+*,type/nonce,name,input",
+            planner="cost",
+        ),
     ]
 
 
@@ -285,6 +325,29 @@ def _run_rep(
         misses = cache.misses - misses_before
         if hits + misses:
             metrics["probe_hit_rate"] = hits / (hits + misses)
+
+    if hasattr(engine, "q4_time_range"):
+        before_q4 = sim.usage()
+        q4 = engine.q4_time_range(*Q4_VERSION_RANGE)
+        metrics.update(
+            {
+                "q4_ops": q4.operations,
+                "q4_latency": q4.latency,
+                "q4_results": q4.result_count,
+                "q4_read_units": q4.usage.read_units(),
+                "q4_usd": sim.account.prices.cost(sim.usage() - before_q4).total,
+            }
+        )
+        predicted = [
+            m.predicted_cost
+            for m in (q2, q3, q4)
+            if m.predicted_cost is not None
+        ]
+        if predicted:
+            # Honesty pair: the planner's own estimate next to what the
+            # meter actually charged for the same (planned) phases.
+            metrics["query_predicted_usd"] = sum(predicted)
+            metrics["query_metered_usd"] = metrics["query_usd"] + metrics["q4_usd"]
 
     if check_replay:
         text = dump_trace(events, workload=spec.workload.name, delays=delays)

@@ -158,7 +158,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
                          concurrency=args.concurrency,
                          ddb_indexes=args.ddb_indexes,
                          write_batch=args.write_batch,
-                         read_cache=args.read_cache)
+                         read_cache=args.read_cache,
+                         planner=args.planner)
     except ValueError as exc:  # e.g. a malformed --backend/--ddb-indexes spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -213,6 +214,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
             f"{outputs.latency * 1000:.0f} ms ({mode}; one-at-a-time "
             f"{outputs.sequential_latency * 1000:.0f} ms)"
         )
+        if outputs.predicted_cost is not None:
+            metered = sim.account.prices.cost(outputs.usage).total
+            print(
+                f"Q2 planner={engine.planner_mode}: predicted "
+                f"${outputs.predicted_cost:.8f} vs metered ${metered:.8f}"
+            )
         cache = sim.account.read_cache
         if cache is not None:
             repeat = sim.query_engine().q2_outputs_of("analyze")
@@ -418,6 +425,16 @@ def build_parser() -> argparse.ArgumentParser:
         "custom capacity, or 'capacity=N,staleness=SECONDS'; default is "
         "the REPRO_READ_CACHE environment spec or off (byte-identical "
         "meter)",
+    )
+    demo.add_argument(
+        "--planner", default=None, metavar="MODE",
+        choices=("off", "first-fit", "cost"),
+        help="query access-path planning mode: 'off' (default — the "
+        "backend's native choice, byte-identical meter), 'first-fit' "
+        "(same paths, but each query carries a predicted cost), or "
+        "'cost' (the cheapest path per the PriceBook cost model and "
+        "live table statistics); default is the REPRO_QUERY_PLANNER "
+        "environment spec or off",
     )
     demo.add_argument(
         "--migrate", default=None, metavar="SPEC",

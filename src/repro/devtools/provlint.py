@@ -17,7 +17,14 @@ cannot express (exit status 1 when any fires):
 * **PL002 metering/billing coverage** — every service key a ``Meter``
   call records must have a matching ``PriceBook.cost`` line and every
   price line must belong to a metered key (no "metered but unpriced"
-  spend, no dead price lines); ``self._meter`` may only be touched from
+  spend, no dead price lines). Ownership is by *longest dotted prefix*
+  and exclusive: ``dynamodb.gsi.range.*`` lines belong to
+  ``dynamodb-gsi-range`` alone — they cannot ride on the shorter
+  ``dynamodb-gsi`` prefix, and every metered key must own at least one
+  line outright. Keys chosen at runtime are collected from conditional
+  expressions and from ``billing_key`` bindings (the repo's convention
+  for a dynamically selected service key — assignments and parameter
+  defaults both count). ``self._meter`` may only be touched from
   synchronized service methods, private helpers running under the
   caller's lock, or ``Meter.scoped`` contexts.
 * **PL003 determinism** — no wall-clock (``time.time()``,
@@ -267,6 +274,18 @@ class FileChecker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._function_stack.append(node)
+        # A parameter default is a billing_key binding too (the keyed op
+        # inside sees only the bare parameter name).
+        positional = node.args.posonlyargs + node.args.args
+        defaulted = positional[len(positional) - len(node.args.defaults):]
+        pairs = list(zip(defaulted, node.args.defaults)) + [
+            (arg, default)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in pairs:
+            if arg.arg == "billing_key" or arg.arg.endswith("_billing_key"):
+                self._record_metered_keys(default, node)
         self.generic_visit(node)
         self._function_stack.pop()
 
@@ -360,6 +379,40 @@ class FileChecker(ast.NodeVisitor):
 
     # -- PL002: metering/billing coverage ----------------------------------
 
+    def _resolve_key_values(self, key: ast.AST) -> list[str]:
+        """Every service key an expression can evaluate to.
+
+        Handles the forms billing keys actually take at call and binding
+        sites: string literals, ``billing.S3``-style attributes (returned
+        as ``$S3`` and resolved against billing.py's constants in the
+        cross-check), names imported from ``repro.aws.billing``, and
+        conditional expressions — a ``a if cond else b`` key contributes
+        *both* branches, the way ``query_index`` picks between the plain
+        and range GSI keys.
+        """
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return [key.value]
+        if isinstance(key, ast.Attribute) and isinstance(key.value, ast.Name):
+            return [f"${key.attr}"]
+        if isinstance(key, ast.Name):
+            origin = self.imports.from_names.get(key.id, "")
+            if origin.startswith("repro.aws.billing."):
+                return [f"${origin.rsplit('.', 1)[1]}"]
+            return []
+        if isinstance(key, ast.IfExp):
+            return self._resolve_key_values(key.body) + self._resolve_key_values(
+                key.orelse
+            )
+        return []
+
+    def _record_metered_keys(self, key: ast.AST, node: ast.AST) -> None:
+        if not self.library:
+            return
+        for resolved in self._resolve_key_values(key):
+            self.repo.metered_keys.append(
+                (resolved, self.path.as_posix(), node.lineno)
+            )
+
     def _collect_meter_keys(self, node: ast.Call) -> None:
         """Record (service key, site) for the repo-level price-book check."""
         func = node.func
@@ -367,21 +420,30 @@ class FileChecker(ast.NodeVisitor):
             return
         if not node.args:
             return
-        key = node.args[0]
-        resolved: str | None = None
-        if isinstance(key, ast.Constant) and isinstance(key.value, str):
-            resolved = key.value
-        elif isinstance(key, ast.Attribute) and isinstance(key.value, ast.Name):
-            # billing.S3 style — resolved against billing.py's constants.
-            resolved = f"${key.attr}"
-        elif isinstance(key, ast.Name):
-            origin = self.imports.from_names.get(key.id, "")
-            if origin.startswith("repro.aws.billing."):
-                resolved = f"${origin.rsplit('.', 1)[1]}"
-        if resolved is not None and self.library:
-            self.repo.metered_keys.append(
-                (resolved, self.path.as_posix(), node.lineno)
-            )
+        self._record_metered_keys(node.args[0], node)
+
+    def _harvest_billing_key_binding(
+        self, targets: list[ast.AST], value: ast.AST, node: ast.AST
+    ) -> None:
+        """``billing_key = ...`` bindings name the key a later keyed op
+        records under — the binding is where the runtime choice happens
+        (the keyed op itself sees only a bare local), so it is the site
+        the coverage check harvests."""
+        if any(
+            isinstance(target, ast.Name)
+            and (target.id == "billing_key" or target.id.endswith("_billing_key"))
+            for target in targets
+        ):
+            self._record_metered_keys(value, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._harvest_billing_key_binding(node.targets, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._harvest_billing_key_binding([node.target], node.value, node)
+        self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         self._check_pl002_meter_touch(node)
@@ -597,11 +659,35 @@ class RepoData:
                 key = constant
             resolved.setdefault(key, (path, line))
 
-        # A metered service key's price lines share its dotted prefix:
-        # "dynamodb-gsi" -> "dynamodb.gsi.*".
-        prefixes = {key: key.replace("-", ".") + "." for key in resolved}
+        # A service key's price lines share its dotted prefix:
+        # "dynamodb-gsi" -> "dynamodb.gsi.*". Ownership is exclusive by
+        # longest prefix over every key billing.py *declares* (its
+        # string constants) plus any literal keys metered directly:
+        # "dynamodb.gsi.range.read_units" belongs to
+        # "dynamodb-gsi-range" alone, never to the shorter
+        # "dynamodb-gsi" — so a sub-service's price line cannot hide
+        # behind its parent's prefix when the sub-service is never
+        # metered, and every metered key must own at least one line
+        # outright.
+        declared = set(self.billing_constants.values()) | set(resolved)
+        prefixes = {key: key.replace("-", ".") + "." for key in declared}
+
+        def owner_of(label: str) -> str | None:
+            matching = [
+                key for key, prefix in prefixes.items() if label.startswith(prefix)
+            ]
+            if not matching:
+                return None
+            return max(matching, key=lambda key: len(prefixes[key]))
+
+        owned: dict[str, list[str]] = {}
+        for label, _ in self.price_lines:
+            owner = owner_of(label)
+            if owner is not None:
+                owned.setdefault(owner, []).append(label)
+
         for key, (path, line) in sorted(resolved.items()):
-            if not any(label.startswith(prefixes[key]) for label, _ in self.price_lines):
+            if not owned.get(key):
                 findings.append(
                     Finding(
                         path=path,
@@ -609,30 +695,32 @@ class RepoData:
                         col=0,
                         rule="PL002",
                         message=(
-                            f"service key {key!r} is metered but has no "
-                            f"'{prefixes[key]}*' line in PriceBook.cost"
+                            f"service key {key!r} is metered but owns no "
+                            f"'{prefixes[key]}*' line in PriceBook.cost "
+                            "(longest-prefix ownership)"
                         ),
                         hint="add the price line (metered spend must be billable)",
                     )
                 )
         for label, line in sorted(self.price_lines):
-            owners = [
-                key for key, prefix in prefixes.items() if label.startswith(prefix)
-            ]
-            if not owners:
-                findings.append(
-                    Finding(
-                        path=posix,
-                        line=line,
-                        col=0,
-                        rule="PL002",
-                        message=(
-                            f"price line {label!r} matches no metered service "
-                            "key (dead price line)"
-                        ),
-                        hint="meter the service or delete the line",
-                    )
+            owner = owner_of(label)
+            if owner is not None and owner in resolved:
+                continue
+            detail = (
+                f"is owned by declared key {owner!r} which is never metered"
+                if owner is not None
+                else "matches no metered service key"
+            )
+            findings.append(
+                Finding(
+                    path=posix,
+                    line=line,
+                    col=0,
+                    rule="PL002",
+                    message=f"price line {label!r} {detail} (dead price line)",
+                    hint="meter the service or delete the line",
                 )
+            )
         return findings
 
 

@@ -69,6 +69,7 @@ class ClientFleet:
         ddb_indexes: str | tuple | None = None,
         write_batch: int | None = None,
         read_cache: str | bool | int | None = None,
+        planner: str | None = None,
         record_trace: bool = False,
     ):
         """``ddb_indexes`` declares GSIs on DynamoDB-placed provenance
@@ -107,6 +108,9 @@ class ClientFleet:
         #: Worker-pool width for shared query engines (None → sequential
         #: or the ``REPRO_QUERY_CONCURRENCY`` environment override).
         self.concurrency = concurrency
+        #: Access-path planning mode for shared query engines (None →
+        #: the ``REPRO_QUERY_PLANNER`` environment spec, default off).
+        self.planner = planner
         #: Write-coalescer / daemon group-commit width per client.
         self.write_batch = write_batch
         #: When ``record_trace``: the fleet's op log — ``(client_name,
@@ -342,7 +346,10 @@ class ClientFleet:
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
         return SimpleDBEngine(
-            self.account, router=self.routing, concurrency=self.concurrency
+            self.account,
+            router=self.routing,
+            concurrency=self.concurrency,
+            planner=self.planner,
         )
 
     def read(self, name: str):

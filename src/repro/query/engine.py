@@ -59,10 +59,11 @@ from typing import Callable, TypeVar
 
 from repro.aws.account import AWSAccount
 from repro.aws.billing import ELASTICACHE, Usage
-from repro.aws.sdb_query import quote_literal
+from repro.aws.sdb_query import CompiledQuery, parse_query, quote_literal
+from repro.concurrency import new_lock
 from repro.core.base import DATA_BUCKET, PROV_DOMAIN
 from repro.errors import NoSuchKey
-from repro.passlib.records import Attr, ObjectRef, ProvenanceBundle
+from repro.passlib.records import VERSION_DIGITS, Attr, ObjectRef, ProvenanceBundle
 from repro.passlib.serializer import (
     bundle_from_item,
     bundles_from_s3_metadata,
@@ -70,6 +71,7 @@ from repro.passlib.serializer import (
 )
 from repro.migration.handle import RouterHandle, Site, as_handle, fresh_handle
 from repro.query.latency import DEFAULT_LATENCY_MODEL, QueryLatencyModel, makespan
+from repro.query.planner import QueryPlanner, resolve_planner
 from repro.sharding import ShardRouter
 
 T = TypeVar("T")
@@ -135,6 +137,12 @@ class QueryMeasurement:
     cache_operations: int = 0
     cache_bytes_out: int = 0
     per_shard_cache: tuple[tuple[str, int, int], ...] = ()
+    #: The query planner's pre-execution USD estimate for the scatter
+    #: phases it planned (chosen access paths plus its own statistics
+    #: consults) — put next to the priced ``usage``, it makes the
+    #: planner's honesty auditable per query. ``None`` when no planner
+    #: ran (planner off, or a query class the planner does not cover).
+    predicted_cost: float | None = None
 
     @property
     def result_count(self) -> int:
@@ -303,6 +311,7 @@ class SimpleDBEngine(_Metered):
         router: ShardRouter | RouterHandle | None = None,
         concurrency: int | None = None,
         latency_model: QueryLatencyModel = DEFAULT_LATENCY_MODEL,
+        planner: str | None = None,
     ):
         super().__init__(account, latency_model)
         #: Shared routing indirection: passing a store's handle (what
@@ -334,11 +343,27 @@ class SimpleDBEngine(_Metered):
         #: phases memoise whole closure results through it, keyed by the
         #: routing epoch and fenced by the invalidation generation.
         self.cache = account.read_cache
+        #: Access-path planning mode: ``"off"`` (default — request
+        #: sequences byte-identical to the historical engine),
+        #: ``"first-fit"`` (execute the default path but predict its
+        #: cost), or ``"cost"`` (execute the cheapest estimated path).
+        #: ``None`` resolves the ``REPRO_QUERY_PLANNER`` environment
+        #: knob.
+        self.planner_mode = resolve_planner(planner)
+        self.planner = (
+            QueryPlanner(account.prices, self.planner_mode)
+            if self.planner_mode != "off"
+            else None
+        )
         self._shard_spend: dict[str, tuple[int, int]] = {}
         self._cache_spend: dict[str, tuple[int, int]] = {}
         self._site_kinds: dict[str, str] = {}
         self._latency = 0.0
         self._sequential_latency = 0.0
+        #: Accumulated planner prediction for the in-flight query, or
+        #: None for query classes the planner does not cover (Q1).
+        self._predicted: float | None = None
+        self._predicted_lock = new_lock(name="planner-predicted")
 
     @property
     def router(self) -> ShardRouter:
@@ -350,13 +375,20 @@ class SimpleDBEngine(_Metered):
 
     # -- scatter-gather dispatch ----------------------------------------------
 
-    def _begin(self) -> Usage:
-        """Start a measured query: reset accounting, snapshot the meter."""
+    def _begin(self, planned: bool = False) -> Usage:
+        """Start a measured query: reset accounting, snapshot the meter.
+
+        ``planned`` arms the prediction accumulator — only the scatter
+        query classes the planner covers (Q2/Q3/Q4) set it, so Q1's
+        measurements keep ``predicted_cost=None`` instead of a
+        misleading zero.
+        """
         self._shard_spend = {}
         self._cache_spend = {}
         self._site_kinds = {}
         self._latency = 0.0
         self._sequential_latency = 0.0
+        self._predicted = 0.0 if planned and self.planner is not None else None
         return self.account.meter.snapshot()
 
     def _query_sites(self) -> list[tuple[str, Site]]:
@@ -525,6 +557,7 @@ class SimpleDBEngine(_Metered):
             ),
             latency=self._latency,
             sequential_latency=self._sequential_latency,
+            predicted_cost=self._predicted,
         )
 
     # -- Q1 -------------------------------------------------------------------
@@ -603,20 +636,53 @@ class SimpleDBEngine(_Metered):
 
     # -- Q2 -------------------------------------------------------------------------
 
-    def _paged_query(self, site: Site, expression: str, select: str):
+    def _paged_query(
+        self,
+        site: Site,
+        expression: str,
+        select: str,
+        compiled: CompiledQuery | None = None,
+    ):
         """Run one logical query on one site via its backend, paging.
 
         Yields (item name, attrs) pairs; the bracket expression and the
         SELECT statement are two spellings of the same predicate (a
         DynamoDB-placed shard evaluates the compiled predicate client
         side over a Scan instead — ``select_mode`` is a SimpleDB wire
-        language choice). Spend accrues to whichever meter scope the
-        consuming stream opened — callers consume the generator fully
-        inside their task.
+        language choice). ``compiled`` is the predicate compiled once
+        by the phase and shared across its shard streams — compilation
+        is client CPU, never metered, so hoisting it is meter-neutral.
+        Spend accrues to whichever meter scope the consuming stream
+        opened — callers consume the generator fully inside their task,
+        and the planner's path choice (with its statistics consult)
+        runs eagerly here, inside the same scope.
         """
+        if compiled is None:
+            compiled = parse_query(expression)
+        path = self._plan(site, compiled)
         return self._backend(site).query_pages(
-            site.domain, expression, select, self.select_mode, [Attr.TYPE]
+            site.domain,
+            expression,
+            select,
+            self.select_mode,
+            [Attr.TYPE],
+            compiled=compiled,
+            path=path,
         )
+
+    def _plan(self, site: Site, compiled: CompiledQuery):
+        """Ask the planner for this stream's access path (None = the
+        backend's native choice), accruing its USD prediction onto the
+        in-flight query's accumulator."""
+        if self.planner is None:
+            return None
+        path, predicted = self.planner.choose(
+            self._backend(site), site.domain, compiled, {Attr.TYPE}
+        )
+        with self._predicted_lock:
+            if self._predicted is not None:
+                self._predicted += predicted
+        return path
 
     def _find_program_instances(self, program: str) -> set[ObjectRef]:
         """Phase 1: all process versions of ``program`` — every site.
@@ -633,6 +699,7 @@ class SimpleDBEngine(_Metered):
     def _find_program_instances_live(self, program: str) -> set[ObjectRef]:
         literal = quote_literal(program)
         expression = f"['type' = 'process'] intersection ['name' = {literal}]"
+        compiled = parse_query(expression)  # once per phase, not per shard
 
         def find_on(site: Site) -> Callable[[], list[ObjectRef]]:
             select = (
@@ -643,7 +710,9 @@ class SimpleDBEngine(_Metered):
             def stream() -> list[ObjectRef]:
                 return [
                     ObjectRef.from_item_name(name)
-                    for name, _ in self._paged_query(site, expression, select)
+                    for name, _ in self._paged_query(
+                        site, expression, select, compiled
+                    )
                 ]
 
             return stream
@@ -681,23 +750,30 @@ class SimpleDBEngine(_Metered):
             literals = [quote_literal(ref.encode()) for ref in chunk]
             disjunction = " or ".join(f"'input' = {lit}" for lit in literals)
             expression = f"[{disjunction}]"
+            compiled = parse_query(expression)  # once per chunk, not per shard
             in_list = ", ".join(literals)
             for label, site in sites:
                 select = (
                     f"select type from {site.domain} where input in ({in_list})"
                 )
-                tasks.append((label, self._match_stream(site, expression, select)))
+                tasks.append(
+                    (label, self._match_stream(site, expression, select, compiled))
+                )
         found: set[tuple[ObjectRef, str]] = set()
         for matches in self._run_wave(tasks):
             found.update(matches)
         return found
 
     def _match_stream(
-        self, site: Site, expression: str, select: str
+        self,
+        site: Site,
+        expression: str,
+        select: str,
+        compiled: CompiledQuery | None = None,
     ) -> Callable[[], list[tuple[ObjectRef, str]]]:
         def stream() -> list[tuple[ObjectRef, str]]:
             matches: list[tuple[ObjectRef, str]] = []
-            for name, attrs in self._paged_query(site, expression, select):
+            for name, attrs in self._paged_query(site, expression, select, compiled):
                 kind = (attrs.get(Attr.TYPE) or ("file",))[0]
                 matches.append((ObjectRef.from_item_name(name), kind))
             return matches
@@ -707,7 +783,7 @@ class SimpleDBEngine(_Metered):
     def q2_outputs_of(self, program: str) -> QueryMeasurement:
         """Files that are outputs of ``program`` — two indexed phases (§5),
         each phase scattered across every shard."""
-        before = self._begin()
+        before = self._begin(planned=True)
         with self.account.meter.expect_scope():
             instances = self._find_program_instances(program)
             refs: set[ObjectRef] = set()
@@ -735,7 +811,7 @@ class SimpleDBEngine(_Metered):
         depends on the last), so the modeled critical path is the sum of
         per-round wave makespans.
         """
-        before = self._begin()
+        before = self._begin(planned=True)
         with self.account.meter.expect_scope():
             instances = self._find_program_instances(program)
             seeds = {
@@ -757,6 +833,61 @@ class SimpleDBEngine(_Metered):
                     if kind == "file":
                         results.add(ref)
         return self._measure_sharded(results, before)
+
+    # -- Q4 ------------------------------------------------------------------------------
+
+    def q4_time_range(self, lo_version: int, hi_version: int) -> QueryMeasurement:
+        """File versions in ``[lo_version, hi_version]`` — a time-range
+        query over the version axis.
+
+        Version nonces are zero-padded (``v0002``), so lexicographic
+        order is version order and the phase is one range predicate
+        scattered across every shard. On a SimpleDB shard the range
+        evaluates server-side like any other predicate; on a
+        DynamoDB-placed shard this is the query class composite
+        hash+range indexes exist for — with a ``type/nonce`` index
+        declared, the cost planner serves the slice from one
+        range-conditioned Query, where first-fit reads the whole
+        ``type = 'file'`` partition and the no-index path scans the
+        table. Memoised like the other scatter phases.
+        """
+        before = self._begin(planned=True)
+        lo = f"v{lo_version:0{VERSION_DIGITS}d}"
+        hi = f"v{hi_version:0{VERSION_DIGITS}d}"
+        lo_literal, hi_literal = quote_literal(lo), quote_literal(hi)
+        expression = (
+            f"['type' = 'file'] intersection "
+            f"['nonce' >= {lo_literal} and 'nonce' <= {hi_literal}]"
+        )
+        compiled = parse_query(expression)
+
+        def find_on(site: Site) -> Callable[[], list[ObjectRef]]:
+            select = (
+                f"select type from {site.domain} where type = 'file' "
+                f"and nonce between {lo_literal} and {hi_literal}"
+            )
+
+            def stream() -> list[ObjectRef]:
+                return [
+                    ObjectRef.from_item_name(name)
+                    for name, _ in self._paged_query(
+                        site, expression, select, compiled
+                    )
+                ]
+
+            return stream
+
+        def live() -> set[ObjectRef]:
+            found: set[ObjectRef] = set()
+            for refs in self._run_wave(
+                [(label, find_on(site)) for label, site in self._query_sites()]
+            ):
+                found.update(refs)
+            return found
+
+        with self.account.meter.expect_scope():
+            refs = self._memoised(("range", lo, hi), live)
+        return self._measure_sharded(set(refs), before)
 
 
 # ---------------------------------------------------------------------------

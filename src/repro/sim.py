@@ -61,6 +61,7 @@ class Simulation:
         ddb_indexes: str | tuple | None = None,
         write_batch: int | None = None,
         read_cache: str | bool | int | None = None,
+        planner: str | None = None,
         **architecture_kwargs,
     ):
         """``shards``/``placement`` pick the provenance layout: N stores
@@ -79,7 +80,10 @@ class Simulation:
         ElastiCache-style read-cache tier fronting the provenance
         backends (``"on"``, a spec like ``"capacity=65536"``, or the
         ``REPRO_READ_CACHE`` environment override — default off,
-        byte-identical on the meter)."""
+        byte-identical on the meter). ``planner`` picks the query
+        engines' access-path planning mode (``"off"``/``"first-fit"``/
+        ``"cost"``, default the ``REPRO_QUERY_PLANNER`` environment
+        spec or off — off is byte-identical on the meter)."""
         if architecture not in _FACTORIES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -113,6 +117,10 @@ class Simulation:
         #: by :meth:`query_engine` (None → sequential, or the
         #: ``REPRO_QUERY_CONCURRENCY`` environment override).
         self.concurrency = concurrency
+        #: Access-path planning mode for query engines handed out by
+        #: :meth:`query_engine` (None → the ``REPRO_QUERY_PLANNER``
+        #: environment spec, default off).
+        self.planner = planner
         self._pump_every = pump_every
         self.events_stored = 0
         self.stats = TraceStats()
@@ -212,7 +220,10 @@ class Simulation:
         if self.architecture == "s3":
             return S3ScanEngine(self.account)
         return SimpleDBEngine(
-            self.account, router=self.store.routing, concurrency=self.concurrency
+            self.account,
+            router=self.store.routing,
+            concurrency=self.concurrency,
+            planner=self.planner,
         )
 
     def scan_engine(self) -> S3ScanEngine:

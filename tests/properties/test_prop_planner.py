@@ -1,0 +1,125 @@
+"""Differential properties of the cost-based query planner.
+
+The planner is an access-path choice, never a semantics change — so the
+harness runs every workload in :func:`default_workloads` (at a reduced
+scale) over the full shards × placement grid and, per cell, compares
+``planner ∈ {off, first-fit, cost}``:
+
+* **identical answers** — Q2/Q3/Q4 return the same result sets in all
+  three modes on every cell;
+* **cost mode never pays more** — the metered USD over the planned
+  phases is ≤ first-fit's on every cell (the hysteresis gate only lets
+  the planner deviate from first-fit when its estimate is clearly
+  cheaper, so a wrong estimate degrades to the baseline, never below
+  it);
+* **predictions are honest** — ``predicted_cost`` lands within
+  :data:`~repro.query.planner.PREDICTION_ERROR_BOUND` of the metered
+  spend on DynamoDB cells, where the statistics are exact per-key byte
+  histograms. SimpleDB estimates ride a mean-selectivity model (the
+  service exposes no per-predicate histograms), so sdb/mixed cells get
+  the looser :data:`SDB_ERROR_BOUND`;
+* **off is off** — no planner, no ``predicted_cost``, and no
+  statistics consults (the DescribeTable/DomainMetadata control-plane
+  requests only planned modes pay).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.matrix import Q4_VERSION_RANGE, default_workloads
+from repro.query.planner import PREDICTION_ERROR_BOUND
+from repro.sim import Simulation
+
+#: Composite hash+range GSIs on DynamoDB-placed shards — the spec the
+#: matrix planner cells declare, so the cost mode has a range path to
+#: choose on the version-window query.
+DDB_INDEXES = "name/nonce+*,type/nonce,name,input"
+
+#: Keeps every workload row tractable for the grid sweep (the full-size
+#: rows are the benchmark's job; the properties are scale-blind).
+SCALE = 0.15
+
+MODES = ("off", "first-fit", "cost")
+
+#: SimpleDB selectivity is estimated, not measured — see the module
+#: docstring. Twice the DynamoDB bound, pinned by the same sweep.
+SDB_ERROR_BOUND = 2 * PREDICTION_ERROR_BOUND
+
+CELLS = [
+    (shards, placement)
+    for shards in (1, 4)
+    for placement in ("sdb", "ddb", "mixed")
+]
+
+WORKLOAD_KEYS = [spec.key for spec in default_workloads()]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """workload key → (spec, generated timed events), one trace each."""
+    out = {}
+    for spec in default_workloads(scale=SCALE):
+        rng = spec.rep_rng(7, 0)
+        out[spec.key] = (spec, list(spec.workload.iter_timed_events(rng, spec.scale)))
+    return out
+
+
+def run_cell(traces, key, shards, placement, mode):
+    spec, timed = traces[key]
+    sim = Simulation(
+        architecture="s3+simpledb",
+        seed=11,
+        shards=shards,
+        placement=placement,
+        ddb_indexes=DDB_INDEXES,
+        planner=mode,
+    )
+    if spec.workload.timed:
+        sim.store_timed_events(timed)
+    else:
+        sim.store_events([event for _, event in timed])
+    engine = sim.query_engine()
+    before = sim.usage()
+    measurements = (
+        engine.q2_outputs_of(spec.program),
+        engine.q3_descendants_of(spec.program),
+        engine.q4_time_range(*Q4_VERSION_RANGE),
+    )
+    spent = sim.usage() - before
+    predicted = [
+        m.predicted_cost for m in measurements if m.predicted_cost is not None
+    ]
+    return {
+        "refs": tuple(frozenset(m.refs) for m in measurements),
+        "metered_usd": sim.account.prices.cost(spent).total,
+        "predicted_usd": sum(predicted) if predicted else None,
+        "stats_consults": spent.request_count("dynamodb", "DescribeTable")
+        + spent.request_count("simpledb", "DomainMetadata"),
+    }
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"s{c[0]}-{c[1]}")
+@pytest.mark.parametrize("key", WORKLOAD_KEYS)
+def test_planner_differential_properties(traces, key, cell):
+    shards, placement = cell
+    rows = {mode: run_cell(traces, key, shards, placement, mode) for mode in MODES}
+
+    # Identical answers in every mode.
+    assert rows["first-fit"]["refs"] == rows["off"]["refs"]
+    assert rows["cost"]["refs"] == rows["off"]["refs"]
+
+    # Cost mode never pays more than the first-fit baseline.
+    assert rows["cost"]["metered_usd"] <= rows["first-fit"]["metered_usd"] + 1e-15
+
+    # Honest predictions, with the documented per-backend bound.
+    bound = PREDICTION_ERROR_BOUND if placement == "ddb" else SDB_ERROR_BOUND
+    for mode in ("first-fit", "cost"):
+        row = rows[mode]
+        error = abs(row["predicted_usd"] - row["metered_usd"]) / row["metered_usd"]
+        assert error <= bound, (mode, error)
+        assert row["stats_consults"] > 0
+
+    # Off plans nothing: no prediction, no statistics consults.
+    assert rows["off"]["predicted_usd"] is None
+    assert rows["off"]["stats_consults"] == 0

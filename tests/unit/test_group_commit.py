@@ -62,8 +62,16 @@ class TestResolveWriteBatch:
             resolve_write_batch(0)
 
 
-def coalescer(account, batch, shards=1, placement=None):
-    routing = RouterHandle(ShardRouter(shards, placement=placement))
+def sdb_router(shards=1, placement="sdb"):
+    """These suites count SimpleDB requests and read SimpleDB oracles,
+    so the layout pins the sdb placement whatever the environment's
+    ``REPRO_BACKEND_PLACEMENT`` selects (the mixed-placement test passes
+    its placement explicitly)."""
+    return RouterHandle(ShardRouter(shards, placement=placement))
+
+
+def coalescer(account, batch, shards=1, placement="sdb"):
+    routing = sdb_router(shards, placement)
     routing.provision(account.provenance_backends())
     return WriteCoalescer(account, routing, batch)
 
@@ -149,7 +157,7 @@ class TestA2Coalescing:
     def test_batching_reduces_sdb_requests(self):
         def run(write_batch):
             account = AWSAccount(seed=11, consistency=ConsistencyConfig.strong())
-            store = S3SimpleDB(account, write_batch=write_batch)
+            store = S3SimpleDB(account, write_batch=write_batch, router=sdb_router())
             store.provision()
             for event in make_events(6):
                 store.store(event)
@@ -166,7 +174,8 @@ class TestA2Coalescing:
 def run_a3(write_batch, n_files=8, seed=3):
     account = AWSAccount(seed=seed, consistency=ConsistencyConfig.strong())
     store = S3SimpleDBSQS(
-        account, commit_threshold=1000, write_batch=write_batch
+        account, commit_threshold=1000, write_batch=write_batch,
+        router=sdb_router(),
     )
     store.provision()
     for event in make_events(n_files):

@@ -140,6 +140,69 @@ def test_cross_check_clean_when_keys_and_prices_agree():
     assert repo.cross_check() == []
 
 
+SUB_SERVICE_BILLING = '''\
+DDB_GSI = "dynamodb-gsi"
+DDB_GSI_RANGE = "dynamodb-gsi-range"
+
+
+class PriceBook:
+    def cost(self, usage):
+        lines = []
+        lines.append(("dynamodb.gsi.read_units", 1.0))
+        lines.append(("dynamodb.gsi.range.read_units", 2.0))
+        return lines
+'''
+
+
+def test_longest_prefix_ownership_rejects_sub_service_freeloading():
+    """A 'dynamodb.gsi.range.*' price line may not ride on the shorter
+    'dynamodb-gsi' prefix: with only the parent metered, the sub-service
+    line is dead, and the parent still owns its own line."""
+    consumer = '''\
+from repro.aws.billing import DDB_GSI
+
+
+class Svc:
+    def serve(self, meter):
+        meter.record_request(DDB_GSI, "Query")
+'''
+    repo = provlint.RepoData()
+    provlint.check_source(SUB_SERVICE_BILLING, Path("src/repro/aws/billing.py"), repo)
+    provlint.check_source(consumer, Path("src/repro/aws/svc.py"), repo)
+    findings = repo.cross_check()
+    assert len(findings) == 1
+    assert findings[0].rule == "PL002"
+    assert "'dynamodb.gsi.range.read_units'" in findings[0].message
+    assert "dead price line" in findings[0].message
+
+
+def test_billing_key_binding_collects_both_conditional_branches():
+    """The dynamo idiom: the key is chosen by a conditional bound to a
+    ``billing_key`` local (or parameter default), and the keyed op sees
+    only the bare name — the binding site is what the collector reads,
+    and both branches count as metered."""
+    consumer = '''\
+from repro.aws import billing
+
+
+class Svc:
+    def query(self, meter, ranged):
+        billing_key = (
+            billing.DDB_GSI_RANGE if ranged else billing.DDB_GSI
+        )
+        self._serve(meter, billing_key)
+
+    def _serve(self, meter, billing_key="dynamodb-gsi"):
+        meter.record_request(billing_key, "Query")
+'''
+    repo = provlint.RepoData()
+    provlint.check_source(SUB_SERVICE_BILLING, Path("src/repro/aws/billing.py"), repo)
+    provlint.check_source(consumer, Path("src/repro/aws/svc.py"), repo)
+    assert repo.cross_check() == []
+    keys = {key for key, _, _ in repo.metered_keys}
+    assert {"$DDB_GSI_RANGE", "$DDB_GSI", "dynamodb-gsi"} <= keys
+
+
 def test_real_billing_price_book_matches_real_meter_calls():
     """Every key metered anywhere in src/ has a live price line and
     vice versa — the bidirectional coverage PL002 promises."""
